@@ -1,0 +1,55 @@
+// Fig. 7: DNN hyper-parameter selection on S1 validation data
+// (beamformee 1).
+//   (a) accuracy vs. number of convolutional layers (2..7), 128 filters;
+//   (b) accuracy vs. number of filters (16..256), 5 conv layers.
+//
+// Paper reference: accuracy is nearly flat in depth (all > 97%) and rises
+// with filter count at the cost of parameters; the elbow sits at 5 layers
+// x 128 filters. At quick scale the sweep uses proportionally smaller
+// filter counts but must reproduce both trends (flat in depth, rising in
+// width) along with the parameter-count trade-off.
+#include "bench_common.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header("Fig. 7", "hyper-parameter sweep on S1 validation data");
+
+  const dataset::Scale scale = dataset::scale_from_env();
+  const bool full = dataset::full_scale_selected();
+
+  dataset::D1Options opt;
+  opt.set = dataset::SetId::kS1;
+  opt.beamformee = 0;
+  opt.scale = scale;
+  opt.input.subcarrier_stride = scale.subcarrier_stride;
+  const dataset::SplitSets split = dataset::build_d1(opt);
+
+  const core::ExperimentConfig base = core::experiment_config_from_env();
+
+  std::printf("--- Fig. 7a: conv layers (filters = %d) ---\n",
+              full ? 128 : 24);
+  for (int layers = 2; layers <= 7; ++layers) {
+    core::ExperimentConfig cfg = base;
+    cfg.model.conv_layers = layers;
+    cfg.model.filters = full ? 128 : 24;
+    cfg.model.kernel_widths = core::default_kernels(layers);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d conv layers", layers);
+    const auto result = bench::run_and_report(label, split, cfg);
+    std::printf("%-36s  trainable params: %zu\n", "", result.trainable_params);
+  }
+
+  std::printf("\n--- Fig. 7b: filters (conv layers = %d) ---\n", full ? 5 : 3);
+  for (int filters : (full ? std::vector<int>{16, 32, 64, 128, 256}
+                           : std::vector<int>{8, 16, 32, 64})) {
+    core::ExperimentConfig cfg = base;
+    cfg.model.conv_layers = full ? 5 : 3;
+    cfg.model.kernel_widths = core::default_kernels(cfg.model.conv_layers);
+    cfg.model.filters = filters;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d filters", filters);
+    const auto result = bench::run_and_report(label, split, cfg);
+    std::printf("%-36s  trainable params: %zu\n", "", result.trainable_params);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 8: confusion matrices for beamformee 1, 3 TX antennas, spatial
+// stream 0, on the Table I training/testing sets.
+//
+// Paper reference: S1 98.02%, S2 75.41%, S3 42.97%. The reproduction
+// target is the shape: S1 (matched positions) near-perfect, S2
+// (interpolation across interleaved positions) intermediate, S3
+// (extrapolation to unseen far positions) lowest.
+#include "bench_common.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header(
+      "Fig. 8", "beamformer identification vs. Table I sets (beamformee 1)");
+
+  const core::ExperimentConfig cfg = core::experiment_config_from_env();
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  std::printf("%-6s %-10s %-10s  (paper: S1 98.0%%, S2 75.4%%, S3 43.0%%)\n\n",
+              "set", "train pos", "test pos");
+  for (dataset::SetId set :
+       {dataset::SetId::kS1, dataset::SetId::kS2, dataset::SetId::kS3}) {
+    dataset::D1Options opt;
+    opt.set = set;
+    opt.beamformee = 0;
+    opt.scale = scale;
+    opt.input.subcarrier_stride = scale.subcarrier_stride;
+    const dataset::SplitSets split = dataset::build_d1(opt);
+    const auto result = bench::run_and_report(
+        std::string("Fig. 8 set ") + bench::set_name(set), split, cfg,
+        /*print_confusion=*/true);
+    (void)result;
+    std::printf("\n");
+  }
+  return 0;
+}

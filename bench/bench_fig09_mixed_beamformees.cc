@@ -1,0 +1,34 @@
+// Fig. 9: confusion matrices when the feedback of *both* beamformees is
+// pooled into training and testing (3 TX antennas, spatial stream 0).
+//
+// Paper reference: S1 97.62%, S2 77.38%, S3 47.28% — slightly better than
+// single-beamformee training on S2/S3 thanks to the added diversity.
+#include "bench_common.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header("Fig. 9",
+                      "training on the pooled feedback of both beamformees");
+
+  core::ExperimentConfig cfg = core::experiment_config_from_env();
+  // Pooling both beamformees doubles the training set and the diversity
+  // the model must absorb; scale capacity accordingly.
+  cfg.model.filters += cfg.model.filters / 2;
+  cfg.train.epochs += 6;
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  std::printf("(paper: S1 97.6%%, S2 77.4%%, S3 47.3%%)\n\n");
+  for (dataset::SetId set :
+       {dataset::SetId::kS1, dataset::SetId::kS2, dataset::SetId::kS3}) {
+    dataset::D1Options opt;
+    opt.set = set;
+    opt.mix_beamformees = true;
+    opt.scale = scale;
+    opt.input.subcarrier_stride = scale.subcarrier_stride;
+    const dataset::SplitSets split = dataset::build_d1(opt);
+    bench::run_and_report(std::string("Fig. 9 set ") + bench::set_name(set),
+                          split, cfg, /*print_confusion=*/true);
+    std::printf("\n");
+  }
+  return 0;
+}

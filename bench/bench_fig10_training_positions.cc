@@ -1,0 +1,39 @@
+// Fig. 10: identification accuracy as a function of the number of
+// beamformee positions included in the training set, for the Table I sets
+// (S1 up to 9 positions, S2/S3 up to 5).
+//
+// Paper reference: accuracy increases monotonically (modulo noise) with
+// the number of training positions on every set — spatial diversity in
+// training is what makes the fingerprint robust.
+#include "bench_common.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header("Fig. 10", "accuracy vs. number of training positions");
+
+  const core::ExperimentConfig cfg = core::experiment_config_from_env();
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  for (dataset::SetId set :
+       {dataset::SetId::kS1, dataset::SetId::kS2, dataset::SetId::kS3}) {
+    const int max_positions =
+        static_cast<int>(dataset::d1_split(set).train_positions.size());
+    std::printf("--- set %s (1..%d training positions) ---\n",
+                bench::set_name(set), max_positions);
+    for (int n = 1; n <= max_positions; ++n) {
+      dataset::D1Options opt;
+      opt.set = set;
+      opt.beamformee = 0;
+      opt.scale = scale;
+      opt.input.subcarrier_stride = scale.subcarrier_stride;
+      opt.max_train_positions = n;
+      const dataset::SplitSets split = dataset::build_d1(opt);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s, %d training position%s",
+                    bench::set_name(set), n, n == 1 ? "" : "s");
+      bench::run_and_report(label, split, cfg);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 11: swapping the beamformee between training and testing (set S1
+// configuration, 3 TX antennas, spatial stream 0).
+//
+// Paper reference: 25.86% (train BF1 / test BF2) and 25.02% (converse) —
+// Vtilde captures hardware of *both* endpoints plus the channel geometry
+// to the specific beamformee, so the fingerprint does not transfer.
+#include "bench_common.h"
+
+namespace {
+
+deepcsi::dataset::SplitSets cross_split(int train_bf, int test_bf,
+                                        const deepcsi::dataset::Scale& scale) {
+  using namespace deepcsi;
+  dataset::D1Options opt;
+  opt.set = dataset::SetId::kS1;
+  opt.scale = scale;
+  opt.input.subcarrier_stride = scale.subcarrier_stride;
+
+  opt.beamformee = train_bf;
+  const dataset::SplitSets train_side = dataset::build_d1(opt);
+  opt.beamformee = test_bf;
+  const dataset::SplitSets test_side = dataset::build_d1(opt);
+  return {train_side.train, test_side.test};
+}
+
+}  // namespace
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header("Fig. 11",
+                      "train on one beamformee, test on the other (set S1)");
+
+  const core::ExperimentConfig cfg = core::experiment_config_from_env();
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  std::printf("(paper: BF1->BF2 25.9%%, BF2->BF1 25.0%%; same-BF ~98%%)\n\n");
+  bench::run_and_report("same beamformee (BF1->BF1)",
+                        cross_split(0, 0, scale), cfg);
+  bench::run_and_report("train BF1, test BF2", cross_split(0, 1, scale), cfg,
+                        /*print_confusion=*/true);
+  std::printf("\n");
+  bench::run_and_report("train BF2, test BF1", cross_split(1, 0, scale), cfg,
+                        /*print_confusion=*/true);
+  return 0;
+}

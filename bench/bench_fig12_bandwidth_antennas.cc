@@ -1,0 +1,63 @@
+// Fig. 12a: accuracy vs. channel bandwidth — N_col = 234 (80 MHz), 110
+// (40 MHz channel 38) and 54 (20 MHz channel 36) sub-carriers extracted
+// from the 80 MHz sounding.
+// Fig. 12b: accuracy vs. number of transmitter antennas used to compute
+// the fingerprint (N_ch = 3, 2, 1 leading rows of Vtilde).
+//
+// Paper reference: accuracy increases with bandwidth and with the number
+// of TX antennas, with the strongest effect on S2 and S3 — maximal
+// spectral/spatial diversity makes RFP robust.
+#include "bench_common.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header(
+      "Fig. 12",
+      "accuracy vs. bandwidth (12a) and number of TX antennas (12b)");
+
+  const core::ExperimentConfig cfg = core::experiment_config_from_env();
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  std::printf("--- Fig. 12a: bandwidth (beamformee 1, stream 0) ---\n");
+  for (dataset::SetId set :
+       {dataset::SetId::kS1, dataset::SetId::kS2, dataset::SetId::kS3}) {
+    for (const auto& [band, name] :
+         {std::pair{phy::Band::k80MHz, "80 MHz (234 sc)"},
+          std::pair{phy::Band::k40MHz, "40 MHz (110 sc)"},
+          std::pair{phy::Band::k20MHz, "20 MHz ( 54 sc)"}}) {
+      dataset::D1Options opt;
+      opt.set = set;
+      opt.beamformee = 0;
+      opt.scale = scale;
+      opt.input.band = band;
+      // The same stride everywhere keeps the comparison about bandwidth
+      // (number of distinct sub-bands), not input length artifacts.
+      opt.input.subcarrier_stride = scale.subcarrier_stride;
+      const dataset::SplitSets split = dataset::build_d1(opt);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s  %s", bench::set_name(set), name);
+      bench::run_and_report(label, split, cfg);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("--- Fig. 12b: TX antennas (beamformee 1, stream 0) ---\n");
+  for (dataset::SetId set :
+       {dataset::SetId::kS1, dataset::SetId::kS2, dataset::SetId::kS3}) {
+    for (int antennas : {3, 2, 1}) {
+      dataset::D1Options opt;
+      opt.set = set;
+      opt.beamformee = 0;
+      opt.scale = scale;
+      opt.input.num_antennas = antennas;
+      opt.input.subcarrier_stride = scale.subcarrier_stride;
+      const dataset::SplitSets split = dataset::build_d1(opt);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s  %d TX antenna%s",
+                    bench::set_name(set), antennas, antennas == 1 ? "" : "s");
+      bench::run_and_report(label, split, cfg);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

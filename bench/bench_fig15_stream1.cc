@@ -1,0 +1,33 @@
+// Fig. 15: confusion matrices for beamformee 1, 3 TX antennas, spatial
+// stream 1 (the second Vtilde column).
+//
+// Paper reference: S1 97.03%, S2 13.32%, S3 5.63%. Algorithm 1's recursion
+// makes the second stream's reconstruction much noisier (Fig. 13), so the
+// fingerprint survives only when train/test positions match (S1) and
+// collapses on S2/S3.
+#include "bench_common.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header("Fig. 15",
+                      "identification from spatial stream 1 (beamformee 1)");
+
+  const core::ExperimentConfig cfg = core::experiment_config_from_env();
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  std::printf("(paper: S1 97.0%%, S2 13.3%%, S3 5.6%%)\n\n");
+  for (dataset::SetId set :
+       {dataset::SetId::kS1, dataset::SetId::kS2, dataset::SetId::kS3}) {
+    dataset::D1Options opt;
+    opt.set = set;
+    opt.beamformee = 0;
+    opt.scale = scale;
+    opt.input.stream = 1;  // second spatial stream
+    opt.input.subcarrier_stride = scale.subcarrier_stride;
+    const dataset::SplitSets split = dataset::build_d1(opt);
+    bench::run_and_report(std::string("Fig. 15 set ") + bench::set_name(set),
+                          split, cfg, /*print_confusion=*/true);
+    std::printf("\n");
+  }
+  return 0;
+}

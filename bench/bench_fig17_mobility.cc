@@ -1,0 +1,63 @@
+// Fig. 17: beamformer mobility (dataset D2, beamformee 1, 3 TX antennas,
+// spatial stream 0) on the Table II sets.
+//
+// Paper reference:
+//   (a) S4, full path train/test:        82.56%
+//   (b) S4, disjoint sub-paths:          41.15%
+//   (c) S5, train static / test mobile:  20.50%
+//   (d) S6, train mobile / test static:  88.12%
+// Diversity in training (mobility traces) generalizes to static
+// conditions, but not the other way around.
+#include "bench_common.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header("Fig. 17", "beamformer mobility (dataset D2)");
+
+  core::ExperimentConfig cfg = core::experiment_config_from_env();
+  // Mobility traces span a 4.8 m path: give the classifier a little more
+  // optimization budget than the static experiments need.
+  cfg.train.epochs += 8;
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  std::printf(
+      "(paper: S4 82.6%%, S4 sub-paths 41.2%%, S5 20.5%%, S6 88.1%%)\n\n");
+
+  {
+    dataset::D2Options opt;
+    opt.set = dataset::SetId::kS4;
+    opt.beamformee = 0;
+    opt.scale = scale;
+    opt.input.subcarrier_stride = scale.subcarrier_stride;
+    bench::run_and_report("(a) S4 full mobility path", dataset::build_d2(opt),
+                          cfg, /*print_confusion=*/true);
+    std::printf("\n");
+    opt.subpath_variant = true;
+    bench::run_and_report("(b) S4 train A-B-C-B, test B-D-B",
+                          dataset::build_d2(opt), cfg,
+                          /*print_confusion=*/true);
+    std::printf("\n");
+  }
+  {
+    dataset::D2Options opt;
+    opt.set = dataset::SetId::kS5;
+    opt.beamformee = 0;
+    opt.scale = scale;
+    opt.input.subcarrier_stride = scale.subcarrier_stride;
+    bench::run_and_report("(c) S5 train static, test mobility",
+                          dataset::build_d2(opt), cfg,
+                          /*print_confusion=*/true);
+    std::printf("\n");
+  }
+  {
+    dataset::D2Options opt;
+    opt.set = dataset::SetId::kS6;
+    opt.beamformee = 0;
+    opt.scale = scale;
+    opt.input.subcarrier_stride = scale.subcarrier_stride;
+    bench::run_and_report("(d) S6 train mobility, test static",
+                          dataset::build_d2(opt), cfg,
+                          /*print_confusion=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Micro-benchmarks for the per-packet pipeline stages, backing the paper's
+// deployability claim ("the trained learning algorithm can be run to
+// perform online inference on low-cost Wi-Fi devices"): SVD, Algorithm 1,
+// quantization, frame codec, feature assembly, and CNN inference latency.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "capture/vht_frame.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "dataset/splits.h"
+#include "feedback/bitpack.h"
+#include "linalg/svd.h"
+#include "nn/loss.h"
+#include "phy/channel.h"
+#include "phy/sounding.h"
+
+namespace {
+
+using namespace deepcsi;
+
+linalg::CMat random_h(std::mt19937_64& rng) {
+  return linalg::CMat::random_gaussian(3, 2, rng);
+}
+
+void BM_ComplexSvd3x2(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  const linalg::CMat h = random_h(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::svd(h.transpose()));
+  }
+}
+BENCHMARK(BM_ComplexSvd3x2);
+
+void BM_Algorithm1Decompose(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  const linalg::CMat v =
+      linalg::svd(random_h(rng).transpose()).v.first_columns(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feedback::decompose_v(v));
+  }
+}
+BENCHMARK(BM_Algorithm1Decompose);
+
+void BM_VtildeReconstruct(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  const linalg::CMat v =
+      linalg::svd(random_h(rng).transpose()).v.first_columns(2);
+  const auto angles = feedback::decompose_v(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feedback::reconstruct_v(angles));
+  }
+}
+BENCHMARK(BM_VtildeReconstruct);
+
+void BM_QuantizeRoundTrip(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  const linalg::CMat v =
+      linalg::svd(random_h(rng).transpose()).v.first_columns(2);
+  const auto cfg = feedback::mu_mimo_codebook_high();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feedback::quantized_vtilde(v, cfg));
+  }
+}
+BENCHMARK(BM_QuantizeRoundTrip);
+
+void BM_ChannelSounding234(benchmark::State& state) {
+  const phy::Scene scene(0);
+  const phy::ChannelModel channel(scene);
+  std::mt19937_64 rng(5);
+  const auto& sc = phy::vht80_sounded_subcarriers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel.cfr(scene.ap_position_a(), scene.beamformee_position(0, 3), 3,
+                    2, sc, {}, phy::FadingParams{}, rng));
+  }
+}
+BENCHMARK(BM_ChannelSounding234);
+
+void BM_FullFeedbackCompression234(benchmark::State& state) {
+  // What the beamformee computes per sounding: 234 SVDs + Algorithm 1 +
+  // quantization.
+  const phy::Scene scene(0);
+  const phy::ChannelModel channel(scene);
+  std::mt19937_64 rng(6);
+  const auto& sc = phy::vht80_sounded_subcarriers();
+  const phy::Cfr cfr =
+      channel.cfr(scene.ap_position_a(), scene.beamformee_position(0, 3), 3, 2,
+                  sc, {}, phy::FadingParams{}, rng);
+  const auto cfg = feedback::mu_mimo_codebook_high();
+  for (auto _ : state) {
+    const auto v = feedback::beamforming_v(cfr.h, 2);
+    benchmark::DoNotOptimize(feedback::compress_v_series(v, sc, cfg));
+  }
+}
+BENCHMARK(BM_FullFeedbackCompression234);
+
+capture::BeamformingActionFrame make_frame() {
+  const phy::Scene scene(0);
+  const phy::ChannelModel channel(scene);
+  std::mt19937_64 rng(7);
+  const auto& sc = phy::vht80_sounded_subcarriers();
+  const phy::Cfr cfr =
+      channel.cfr(scene.ap_position_a(), scene.beamformee_position(0, 3), 3, 2,
+                  sc, {}, phy::FadingParams{}, rng);
+  const auto v = feedback::beamforming_v(cfr.h, 2);
+  capture::BeamformingActionFrame f;
+  f.ra = capture::MacAddress::for_module(0);
+  f.ta = capture::MacAddress::for_station(0);
+  f.bssid = f.ra;
+  f.mimo_control.nc = 2;
+  f.mimo_control.nr = 3;
+  f.mimo_control.bandwidth = 2;
+  f.report = feedback::pack_report(
+      feedback::compress_v_series(v, sc, feedback::mu_mimo_codebook_high()));
+  return f;
+}
+
+void BM_FrameSerialize(benchmark::State& state) {
+  const auto frame = make_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.serialize());
+  }
+}
+BENCHMARK(BM_FrameSerialize);
+
+void BM_FrameParse(benchmark::State& state) {
+  const auto bytes = make_frame().serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capture::BeamformingActionFrame::parse(bytes));
+  }
+}
+BENCHMARK(BM_FrameParse);
+
+void BM_FeatureAssembly(benchmark::State& state) {
+  // Observer-side: quantized report -> DNN input tensor (full 234-sc).
+  const dataset::Scale scale{2, 2, 1};
+  const dataset::Trace trace = dataset::generate_d1_trace(
+      0, 1, 0, scale, dataset::GeneratorConfig{});
+  dataset::InputSpec spec;
+  std::vector<float> buf(
+      static_cast<std::size_t>(dataset::num_input_channels(spec)) *
+      dataset::num_input_columns(spec));
+  for (auto _ : state) {
+    dataset::fill_features(trace.snapshots[0].report, spec, buf.data());
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_FeatureAssembly);
+
+void BM_CnnInferencePaperModel(benchmark::State& state) {
+  // The paper's 489,301-parameter network on a full-band input: the
+  // real-time authentication cost per feedback frame.
+  nn::Sequential model =
+      core::build_deepcsi_model(5, 234, 10, core::paper_model_config());
+  nn::Tensor x({1, 5, 1, 234});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(i % 13) * 0.01f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+  }
+}
+BENCHMARK(BM_CnnInferencePaperModel);
+
+void BM_CnnInferenceQuickModel(benchmark::State& state) {
+  nn::Sequential model =
+      core::build_deepcsi_model(5, 117, 10, core::quick_model_config());
+  nn::Tensor x({1, 5, 1, 117});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(i % 13) * 0.01f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+  }
+}
+BENCHMARK(BM_CnnInferenceQuickModel);
+
+}  // namespace

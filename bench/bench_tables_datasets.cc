@@ -1,0 +1,71 @@
+// Tables I and II: the training/testing set definitions, plus dataset
+// statistics for the generated D1/D2 corpora (trace counts, snapshot
+// counts, on-air report sizes) — the reproduction's answer to the paper's
+// "800 GB of captures" inventory (Sec. IV-A).
+#include "bench_common.h"
+#include "feedback/bitpack.h"
+
+int main() {
+  using namespace deepcsi;
+  bench::print_header("Tables I & II", "split definitions and dataset inventory");
+
+  std::printf("Table I (dataset D1, beamformee positions):\n");
+  std::printf("  %-4s %-28s %-28s\n", "set", "training positions",
+              "testing positions");
+  for (dataset::SetId set :
+       {dataset::SetId::kS1, dataset::SetId::kS2, dataset::SetId::kS3}) {
+    const dataset::D1Split split = dataset::d1_split(set);
+    auto join = [](const std::vector<int>& v) {
+      std::string s;
+      for (int x : v) s += std::to_string(x) + " ";
+      return s;
+    };
+    std::printf("  %-4s %-28s %-28s\n", bench::set_name(set),
+                join(split.train_positions).c_str(),
+                join(split.test_positions).c_str());
+  }
+
+  std::printf("\nTable II (dataset D2, trace groups):\n");
+  std::printf("  groups: fix1 = {0,1}, fix2 = {2,3}, mob1 = {4..7}, mob2 = {8..10}\n");
+  std::printf("  %-4s %-28s %-28s\n", "set", "training groups",
+              "testing groups");
+  std::printf("  %-4s %-28s %-28s\n", "S4", "mob1", "mob2");
+  std::printf("  %-4s %-28s %-28s\n", "S5", "fix1 fix2", "mob1 mob2");
+  std::printf("  %-4s %-28s %-28s\n", "S6", "mob1 mob2", "fix1 fix2");
+
+  const dataset::Scale scale = dataset::scale_from_env();
+
+  // D1 inventory.
+  const std::size_t report_bytes = feedback::report_payload_bytes(
+      3, 2, 234, feedback::mu_mimo_codebook_high());
+  const long d1_traces = 10L * 9 * 2;  // modules x positions x beamformees
+  const long d1_snapshots = d1_traces * scale.d1_snapshots_per_trace;
+  std::printf("\nDataset D1 (static): %ld traces (10 modules x 9 positions x 2 BFs),\n"
+              "  %d snapshots/trace -> %ld reports, %zu B each on the air (~%.1f MB)\n",
+              d1_traces, scale.d1_snapshots_per_trace, d1_snapshots,
+              report_bytes,
+              static_cast<double>(d1_snapshots * report_bytes) / 1e6);
+
+  // D2 inventory (BF0 runs one stream: smaller reports).
+  const std::size_t report_bytes_1ss = feedback::report_payload_bytes(
+      3, 1, 234, feedback::mu_mimo_codebook_high());
+  const long d2_traces = 10L * dataset::kNumD2Traces * 2;
+  const long d2_snapshots = d2_traces * scale.d2_snapshots_per_trace;
+  std::printf("Dataset D2 (dynamic): %ld traces (10 modules x 11 traces x 2 BFs),\n"
+              "  %d snapshots/trace -> %ld reports (%zu B for NSS=1, %zu B for NSS=2)\n",
+              d2_traces, scale.d2_snapshots_per_trace, d2_snapshots,
+              report_bytes_1ss, report_bytes);
+
+  // Sanity-generate one trace of each kind and report timings.
+  bench::Stopwatch t1;
+  const dataset::Trace d1 =
+      dataset::generate_d1_trace(0, 1, 0, scale, dataset::GeneratorConfig{});
+  std::printf("\ngeneration cost: one D1 trace (%zu snapshots) in %.2fs\n",
+              d1.snapshots.size(), t1.seconds());
+  bench::Stopwatch t2;
+  const dataset::Trace d2 =
+      dataset::generate_d2_trace(0, 5, 0, scale, dataset::GeneratorConfig{});
+  std::printf("                 one D2 trace (%zu snapshots) in %.2fs\n",
+              d2.snapshots.size(), t2.seconds());
+  return 0;
+}

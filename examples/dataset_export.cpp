@@ -1,0 +1,64 @@
+// Dataset export: generate a slice of the D1/D2 campaign and publish it in
+// both the library's binary archive format and standard pcap — the
+// reproduction's counterpart to the paper's dataset-sharing pledge
+// ("we pledge to share the 800 GB datasets with the community").
+//
+// Build & run:  ./build/examples/dataset_export [output_dir]
+#include <cstdio>
+#include <string>
+
+#include "capture/monitor.h"
+#include "dataset/io.h"
+
+int main(int argc, char** argv) {
+  using namespace deepcsi;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  const dataset::Scale scale{8, 10, 1};
+  dataset::GeneratorConfig gen;
+
+  // A representative slice: 3 modules, 2 positions, both beamformees,
+  // plus one mobility trace each.
+  std::vector<dataset::Trace> corpus;
+  for (int module : {0, 4, 9}) {
+    for (int position : {1, 5})
+      for (int bf : {0, 1})
+        corpus.push_back(
+            dataset::generate_d1_trace(module, position, bf, scale, gen));
+    corpus.push_back(dataset::generate_d2_trace(module, 5, 0, scale, gen));
+  }
+
+  // Binary archive (compact, loadable with dataset::load_traces).
+  const std::string archive = out_dir + "/deepcsi_corpus.dcst";
+  dataset::save_traces(archive, corpus);
+  std::printf("wrote %zu traces to %s\n", corpus.size(), archive.c_str());
+
+  // pcap export: one file per trace, consumable by Wireshark or the
+  // capture::observe_feedback() observer.
+  std::size_t total_frames = 0;
+  for (const dataset::Trace& t : corpus) {
+    char name[128];
+    std::snprintf(name, sizeof(name), "%s/module%d_%s%d_bf%d.pcap",
+                  out_dir.c_str(), t.module_id,
+                  t.mobile ? "mob" : "pos", t.mobile ? t.trace_index : t.position,
+                  t.beamformee);
+    dataset::export_trace_pcap(name, t);
+    total_frames += t.snapshots.size();
+  }
+  std::printf("wrote %zu pcap files (%zu feedback frames)\n", corpus.size(),
+              total_frames);
+
+  // Round-trip check: the archive reloads losslessly and the pcaps parse.
+  const auto reloaded = dataset::load_traces(archive);
+  if (reloaded.size() != corpus.size()) {
+    std::printf("archive round trip FAILED\n");
+    return 1;
+  }
+  const auto packets =
+      capture::read_pcap(out_dir + "/module0_pos1_bf0.pcap");
+  const auto observed = capture::observe_feedback(packets, std::nullopt);
+  std::printf("verification: archive reloads %zu traces; first pcap yields "
+              "%zu decodable reports\n",
+              reloaded.size(), observed.size());
+  return static_cast<int>(observed.size()) == scale.d1_snapshots_per_trace ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "capture/mac.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace deepcsi::capture {
+
+MacAddress MacAddress::parse(const std::string& text) {
+  MacAddress mac;
+  unsigned v[6];
+  if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &v[0], &v[1], &v[2],
+                  &v[3], &v[4], &v[5]) != 6)
+    throw std::invalid_argument("bad MAC address: " + text);
+  for (int i = 0; i < 6; ++i) {
+    if (v[i] > 0xFF) throw std::invalid_argument("bad MAC octet: " + text);
+    mac.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v[i]);
+  }
+  return mac;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+MacAddress MacAddress::for_module(int module_id) {
+  DEEPCSI_CHECK(module_id >= 0 && module_id < 256);
+  // Compex-style OUI with the module index in the last octet.
+  return MacAddress{{0x04, 0xF0, 0x21, 0xDE, 0xEF, static_cast<std::uint8_t>(module_id)}};
+}
+
+MacAddress MacAddress::for_station(int station_id) {
+  DEEPCSI_CHECK(station_id >= 0 && station_id < 256);
+  // Netgear-style OUI.
+  return MacAddress{{0x9C, 0x3D, 0xCF, 0x5A, 0x00, static_cast<std::uint8_t>(station_id)}};
+}
+
+MacAddress MacAddress::broadcast() {
+  return MacAddress{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace deepcsi::capture

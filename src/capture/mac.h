@@ -1,0 +1,29 @@
+// IEEE 802 MAC addresses and the CRC-32 used for the 802.11 FCS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepcsi::capture {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  static MacAddress parse(const std::string& text);  // "aa:bb:cc:dd:ee:ff"
+  std::string to_string() const;
+  bool operator==(const MacAddress&) const = default;
+
+  // Deterministic testbed addressing: the AP keeps one BSSID while only the
+  // Wi-Fi module changes; stations get their own OUI.
+  static MacAddress for_module(int module_id);
+  static MacAddress for_station(int station_id);
+  static MacAddress broadcast();
+};
+
+// IEEE CRC-32 (reflected, polynomial 0xEDB88320) over a byte range.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+std::uint32_t crc32(const std::vector<std::uint8_t>& data);
+
+}  // namespace deepcsi::capture

@@ -1,0 +1,33 @@
+#include "capture/monitor.h"
+
+#include "phy/ofdm.h"
+
+namespace deepcsi::capture {
+
+std::vector<ObservedFeedback> observe_feedback(
+    const std::vector<CapturedPacket>& packets,
+    std::optional<MacAddress> beamformee) {
+  std::vector<ObservedFeedback> out;
+  for (const CapturedPacket& p : packets) {
+    const auto frame = BeamformingActionFrame::parse(p.bytes);
+    if (!frame) continue;
+    if (beamformee && !(frame->ta == *beamformee)) continue;
+
+    const VhtMimoControl& mc = frame->mimo_control;
+    const std::vector<int> subcarriers = phy::vht80_subband(mc.band());
+    const std::size_t expected = feedback::report_payload_bytes(
+        mc.nr, mc.nc, subcarriers.size(), mc.quant_config());
+    if (frame->report.size() < expected) continue;  // truncated report
+
+    ObservedFeedback obs;
+    obs.timestamp_s = p.timestamp_s;
+    obs.beamformee = frame->ta;
+    obs.beamformer = frame->ra;
+    obs.report = feedback::unpack_report(frame->report, mc.nr, mc.nc,
+                                         subcarriers, mc.quant_config());
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+}  // namespace deepcsi::capture

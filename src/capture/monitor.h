@@ -1,0 +1,32 @@
+// Monitor-mode observer: filters a capture down to the compressed
+// beamforming feedback of one beamformee and rebuilds the Vtilde series —
+// the first half of the DeepCSI workflow (Fig. 3, steps "capture feedback
+// angles" and "reconstruct Vtilde"). The observer needs no association
+// with the target AP.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "capture/pcap.h"
+#include "capture/vht_frame.h"
+#include "feedback/bitpack.h"
+
+namespace deepcsi::capture {
+
+struct ObservedFeedback {
+  double timestamp_s = 0.0;
+  MacAddress beamformee;
+  MacAddress beamformer;
+  feedback::CompressedFeedbackReport report;
+};
+
+// Parses every packet, keeps valid VHT compressed beamforming frames whose
+// transmitter address matches `beamformee` (pass std::nullopt to keep all
+// beamformees), and unpacks the angle payloads. Malformed frames and other
+// traffic are skipped, as a real monitor would.
+std::vector<ObservedFeedback> observe_feedback(
+    const std::vector<CapturedPacket>& packets,
+    std::optional<MacAddress> beamformee);
+
+}  // namespace deepcsi::capture

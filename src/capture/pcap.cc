@@ -1,0 +1,98 @@
+#include "capture/pcap.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace deepcsi::capture {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xA1B2C3D4;
+constexpr std::uint32_t kLinkTypeIeee80211 = 105;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+}  // namespace
+
+void write_pcap(const std::string& path,
+                const std::vector<CapturedPacket>& packets) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u16(out, 2);  // version major
+  put_u16(out, 4);  // version minor
+  put_u32(out, 0);  // thiszone
+  put_u32(out, 0);  // sigfigs
+  put_u32(out, 65535);  // snaplen
+  put_u32(out, kLinkTypeIeee80211);
+  for (const CapturedPacket& p : packets) {
+    const auto secs = static_cast<std::uint32_t>(p.timestamp_s);
+    const auto usecs = static_cast<std::uint32_t>(
+        (p.timestamp_s - static_cast<double>(secs)) * 1e6);
+    put_u32(out, secs);
+    put_u32(out, usecs);
+    put_u32(out, static_cast<std::uint32_t>(p.bytes.size()));
+    put_u32(out, static_cast<std::uint32_t>(p.bytes.size()));
+    out.insert(out.end(), p.bytes.begin(), p.bytes.end());
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  if (std::fwrite(out.data(), 1, out.size(), f.get()) != out.size())
+    throw std::runtime_error("short write: " + path);
+}
+
+std::vector<CapturedPacket> read_pcap(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  std::vector<std::uint8_t> in;
+  std::uint8_t buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
+    in.insert(in.end(), buf, buf + n);
+
+  if (in.size() < 24 || get_u32(in, 0) != kMagic)
+    throw std::runtime_error("not a pcap file: " + path);
+  if (get_u32(in, 20) != kLinkTypeIeee80211)
+    throw std::runtime_error("unexpected link type in: " + path);
+
+  std::vector<CapturedPacket> packets;
+  std::size_t at = 24;
+  while (at + 16 <= in.size()) {
+    CapturedPacket p;
+    const std::uint32_t secs = get_u32(in, at);
+    const std::uint32_t usecs = get_u32(in, at + 4);
+    const std::uint32_t incl = get_u32(in, at + 8);
+    at += 16;
+    if (at + incl > in.size())
+      throw std::runtime_error("truncated pcap record in: " + path);
+    p.timestamp_s = static_cast<double>(secs) + static_cast<double>(usecs) / 1e6;
+    p.bytes.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
+                   in.begin() + static_cast<std::ptrdiff_t>(at + incl));
+    at += incl;
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+}  // namespace deepcsi::capture

@@ -1,0 +1,22 @@
+// Minimal classic-pcap writer/reader (LINKTYPE_IEEE802_11), so captured
+// feedback traces round-trip through the same file format the paper's
+// Wireshark pipeline produced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepcsi::capture {
+
+struct CapturedPacket {
+  double timestamp_s = 0.0;
+  std::vector<std::uint8_t> bytes;
+};
+
+void write_pcap(const std::string& path,
+                const std::vector<CapturedPacket>& packets);
+
+std::vector<CapturedPacket> read_pcap(const std::string& path);
+
+}  // namespace deepcsi::capture

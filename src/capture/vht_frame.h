@@ -1,0 +1,60 @@
+// VHT Compressed Beamforming Action frame codec.
+//
+// The beamformee answers the NDP with an Action-No-Ack management frame:
+//
+//   FrameControl(2) Duration(2) RA(6) TA(6) BSSID(6) SeqCtl(2)
+//   Category(1 = VHT) Action(1 = Compressed Beamforming)
+//   VHT MIMO Control(3) | Compressed Beamforming Report | FCS(4)
+//
+// The VHT MIMO Control field carries everything the observer needs to
+// parse the report: Nc (columns/NSS), Nr (rows/TX antennas), bandwidth and
+// the codebook selector (which fixes b_phi/b_psi). The frame is sent in
+// clear text, so monitor mode plus this codec replaces the paper's
+// Wireshark pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "capture/mac.h"
+#include "feedback/bitpack.h"
+#include "phy/ofdm.h"
+
+namespace deepcsi::capture {
+
+struct VhtMimoControl {
+  int nc = 1;            // report columns (NSS), 1..8 on air as nc-1
+  int nr = 1;            // report rows (TX antennas), 1..8 on air as nr-1
+  int bandwidth = 2;     // 0: 20 MHz, 1: 40 MHz, 2: 80 MHz, 3: 160 MHz
+  bool mu_feedback = true;       // feedback type: SU(0) / MU(1)
+  bool codebook_high = true;     // MU: false=(5,7) bits, true=(7,9) bits
+  int sounding_token = 0;        // 6 bits
+
+  feedback::QuantConfig quant_config() const;
+  phy::Band band() const;
+
+  std::array<std::uint8_t, 3> pack() const;
+  static VhtMimoControl unpack(const std::array<std::uint8_t, 3>& bytes);
+  bool operator==(const VhtMimoControl&) const = default;
+};
+
+struct BeamformingActionFrame {
+  MacAddress ra;      // receiver (the beamformer)
+  MacAddress ta;      // transmitter (the beamformee) — the capture filter key
+  MacAddress bssid;
+  std::uint16_t sequence = 0;
+  VhtMimoControl mimo_control;
+  std::vector<std::uint8_t> report;  // packed compressed beamforming report
+
+  // Serializes header + payload and appends a valid FCS.
+  std::vector<std::uint8_t> serialize() const;
+
+  // Parses and validates (frame type, category/action, FCS). Returns
+  // std::nullopt for frames that are not VHT compressed beamforming or
+  // fail the checksum — the monitor simply skips those.
+  static std::optional<BeamformingActionFrame> parse(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace deepcsi::capture

@@ -1,0 +1,42 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// DEEPCSI_CHECK is always on (API misuse must surface in Release builds,
+// where all benchmarks run); DEEPCSI_DCHECK compiles out in Release and
+// guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deepcsi {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace deepcsi
+
+#define DEEPCSI_CHECK(expr)                                          \
+  do {                                                               \
+    if (!(expr)) ::deepcsi::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DEEPCSI_CHECK_MSG(expr, msg)                                  \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::deepcsi::check_failed(#expr, __FILE__, __LINE__, os_.str());  \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define DEEPCSI_DCHECK(expr) ((void)0)
+#else
+#define DEEPCSI_DCHECK(expr) DEEPCSI_CHECK(expr)
+#endif

@@ -1,0 +1,105 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dataset/scale.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace deepcsi::core {
+
+ExperimentConfig quick_experiment_config() {
+  ExperimentConfig cfg;
+  cfg.model = quick_model_config();
+  cfg.train.epochs = 18;
+  cfg.train.batch_size = 32;
+  cfg.train.lr = 1e-3f;
+  cfg.train.val_fraction = 0.2;
+  return cfg;
+}
+
+ExperimentConfig full_experiment_config() {
+  ExperimentConfig cfg;
+  cfg.model = paper_model_config();
+  cfg.train.epochs = 30;
+  cfg.train.batch_size = 32;
+  cfg.train.lr = 1e-3f;
+  cfg.train.val_fraction = 0.2;
+  return cfg;
+}
+
+ExperimentConfig experiment_config_from_env() {
+  return dataset::full_scale_selected() ? full_experiment_config()
+                                        : quick_experiment_config();
+}
+
+ExperimentResult run_classification(const dataset::SplitSets& split,
+                                    const ExperimentConfig& cfg) {
+  DEEPCSI_CHECK(!split.train.empty() && !split.test.empty());
+  const int in_channels = static_cast<int>(split.train.x.dim(1));
+  const int width = static_cast<int>(split.train.x.dim(3));
+
+  nn::Sequential model = build_deepcsi_model(
+      in_channels, width, split.train.num_classes, cfg.model);
+
+  ExperimentResult result{0.0, 0.0, nn::ConfusionMatrix(split.train.num_classes),
+                          0};
+  result.trainable_params = model.num_trainable();
+  const nn::TrainResult tr = nn::train_classifier(model, split.train, cfg.train);
+  result.best_val_accuracy = tr.best_val_accuracy;
+  result.confusion = nn::evaluate(model, split.test);
+  result.accuracy = result.confusion.accuracy();
+  return result;
+}
+
+Authenticator::Authenticator(nn::Sequential model, dataset::InputSpec spec)
+    : model_(std::move(model)), spec_(spec) {}
+
+Authenticator::Prediction Authenticator::classify(
+    const feedback::CompressedFeedbackReport& report) const {
+  const std::size_t c =
+      static_cast<std::size_t>(dataset::num_input_channels(spec_));
+  const std::size_t w = dataset::num_input_columns(spec_);
+  nn::Tensor x({1, c, 1, w});
+  dataset::fill_features(report, spec_, x.data());
+  const nn::Tensor probs = nn::softmax(model_.forward(x, /*training=*/false));
+  const float* row = probs.data();
+  const std::size_t k = probs.dim(1);
+  const std::size_t best =
+      static_cast<std::size_t>(std::max_element(row, row + k) - row);
+  return Prediction{static_cast<int>(best), static_cast<double>(row[best])};
+}
+
+bool Authenticator::authenticate(
+    const feedback::CompressedFeedbackReport& report, int claimed_module,
+    double min_confidence) const {
+  const Prediction p = classify(report);
+  return p.module_id == claimed_module && p.confidence >= min_confidence;
+}
+
+void Authenticator::save(const std::string& path) {
+  nn::save_weights(model_, path);
+}
+
+void Authenticator::load(const std::string& path) {
+  nn::load_weights(model_, path);
+}
+
+Authenticator train_authenticator(const dataset::SplitSets& split,
+                                  const dataset::InputSpec& spec,
+                                  const ExperimentConfig& cfg) {
+  DEEPCSI_CHECK(!split.train.empty());
+  const int in_channels = static_cast<int>(split.train.x.dim(1));
+  const int width = static_cast<int>(split.train.x.dim(3));
+  DEEPCSI_CHECK(in_channels == dataset::num_input_channels(spec));
+  DEEPCSI_CHECK(static_cast<std::size_t>(width) ==
+                dataset::num_input_columns(spec));
+
+  nn::Sequential model = build_deepcsi_model(
+      in_channels, width, split.train.num_classes, cfg.model);
+  nn::train_classifier(model, split.train, cfg.train);
+  return Authenticator(std::move(model), spec);
+}
+
+}  // namespace deepcsi::core

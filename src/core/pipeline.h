@@ -1,0 +1,74 @@
+// High-level DeepCSI API: train a fingerprint classifier on a train/test
+// split, evaluate it, and run real-time authentication on observed
+// feedback reports (the full workflow of Fig. 1 / Fig. 3).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/model.h"
+#include "dataset/splits.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+
+namespace deepcsi::core {
+
+struct ExperimentConfig {
+  ModelConfig model;
+  nn::TrainConfig train;
+};
+
+// Scale-matched defaults: quick (CI, single core) or paper-like.
+ExperimentConfig quick_experiment_config();
+ExperimentConfig full_experiment_config();
+ExperimentConfig experiment_config_from_env();
+
+struct ExperimentResult {
+  double accuracy = 0.0;          // on the held-out test set
+  double best_val_accuracy = 0.0; // on the validation tail of training data
+  nn::ConfusionMatrix confusion{1};
+  std::size_t trainable_params = 0;
+};
+
+// Train on split.train (with the paper's 80/20 validation tail), evaluate
+// on split.test.
+ExperimentResult run_classification(const dataset::SplitSets& split,
+                                    const ExperimentConfig& cfg);
+
+// A trained classifier bound to its input spec: the deployable artifact.
+class Authenticator {
+ public:
+  Authenticator(nn::Sequential model, dataset::InputSpec spec);
+
+  struct Prediction {
+    int module_id = -1;
+    double confidence = 0.0;  // softmax probability of the argmax
+  };
+
+  // Classify one observed feedback report.
+  Prediction classify(const feedback::CompressedFeedbackReport& report) const;
+
+  // PHY-layer authentication: does the report's fingerprint match the
+  // claimed module id with at least `min_confidence`?
+  bool authenticate(const feedback::CompressedFeedbackReport& report,
+                    int claimed_module, double min_confidence = 0.5) const;
+
+  const dataset::InputSpec& input_spec() const { return spec_; }
+  nn::Sequential& model() { return model_; }
+
+  void save(const std::string& path);
+  // The caller must construct the Authenticator with the same architecture
+  // before loading (shape mismatches throw).
+  void load(const std::string& path);
+
+ private:
+  mutable nn::Sequential model_;  // forward() caches activations internally
+  dataset::InputSpec spec_;
+};
+
+// Convenience: build the model for a given spec and train it on a split.
+Authenticator train_authenticator(const dataset::SplitSets& split,
+                                  const dataset::InputSpec& spec,
+                                  const ExperimentConfig& cfg);
+
+}  // namespace deepcsi::core

@@ -1,0 +1,72 @@
+#include "core/registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace deepcsi::core {
+
+void DeviceRegistry::enroll(const capture::MacAddress& mac, int module_id) {
+  DEEPCSI_CHECK(module_id >= 0);
+  entries_[mac.to_string()] = module_id;
+}
+
+void DeviceRegistry::revoke(const capture::MacAddress& mac) {
+  entries_.erase(mac.to_string());
+}
+
+std::optional<int> DeviceRegistry::expected_module(
+    const capture::MacAddress& mac) const {
+  const auto it = entries_.find(mac.to_string());
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+VoteAuthenticator::VoteAuthenticator(const Authenticator& classifier,
+                                     const DeviceRegistry& registry,
+                                     std::size_t window)
+    : classifier_(classifier), registry_(registry), window_(window) {
+  DEEPCSI_CHECK(window >= 1);
+}
+
+VoteAuthenticator::Verdict VoteAuthenticator::observe(
+    const capture::ObservedFeedback& obs) {
+  const auto expected = registry_.expected_module(obs.beamformer);
+  if (!expected) {
+    ++counts_.unknown;
+    return Verdict::kUnknownDevice;
+  }
+
+  const Authenticator::Prediction pred = classifier_.classify(obs.report);
+  auto& hist = history_[obs.beamformer.to_string()];
+  hist.push_back(pred.module_id);
+  while (hist.size() > window_) hist.pop_front();
+
+  if (hist.size() < 3) return Verdict::kUndecided;
+
+  std::map<int, int> tally;
+  for (int id : hist) ++tally[id];
+  const auto best = std::max_element(
+      tally.begin(), tally.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const bool authentic = best->first == *expected;
+  if (authentic) ++counts_.authentic;
+  else ++counts_.spoofed;
+  return authentic ? Verdict::kAuthentic : Verdict::kSpoofed;
+}
+
+std::optional<std::pair<int, double>> VoteAuthenticator::current_vote(
+    const capture::MacAddress& beamformer) const {
+  const auto it = history_.find(beamformer.to_string());
+  if (it == history_.end() || it->second.empty()) return std::nullopt;
+  std::map<int, int> tally;
+  for (int id : it->second) ++tally[id];
+  const auto best = std::max_element(
+      tally.begin(), tally.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return std::pair<int, double>(
+      best->first,
+      static_cast<double>(best->second) / static_cast<double>(it->second.size()));
+}
+
+}  // namespace deepcsi::core

@@ -1,0 +1,68 @@
+// Device registry and windowed authentication: the operational layer a
+// spectrum administrator would run on top of the per-frame classifier
+// (the paper's DSA enforcement scenario, Sec. I).
+//
+// The registry maps authorized MAC addresses to fingerprint identities;
+// the VoteAuthenticator smooths per-frame decisions over a sliding window
+// of observed feedback frames, which is how a deployment converts
+// ~95% per-frame accuracy into near-certain device-level decisions.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "capture/monitor.h"
+#include "core/pipeline.h"
+
+namespace deepcsi::core {
+
+class DeviceRegistry {
+ public:
+  // Registers an authorized device: its MAC and the fingerprint class the
+  // classifier was trained to emit for it. Re-registering a MAC replaces
+  // the entry.
+  void enroll(const capture::MacAddress& mac, int module_id);
+  void revoke(const capture::MacAddress& mac);
+
+  std::optional<int> expected_module(const capture::MacAddress& mac) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, int> entries_;  // keyed by canonical MAC text
+};
+
+struct VerdictCounts {
+  long authentic = 0;
+  long spoofed = 0;   // fingerprint contradicts the registry entry
+  long unknown = 0;   // MAC not enrolled
+};
+
+// Sliding-window majority voting over per-frame predictions.
+class VoteAuthenticator {
+ public:
+  VoteAuthenticator(const Authenticator& classifier,
+                    const DeviceRegistry& registry, std::size_t window = 15);
+
+  enum class Verdict { kAuthentic, kSpoofed, kUnknownDevice, kUndecided };
+
+  // Feeds one observed frame; returns the current verdict for that
+  // beamformer (undecided until the window holds at least 3 frames).
+  Verdict observe(const capture::ObservedFeedback& obs);
+
+  // Current vote tally for a beamformer MAC (majority fingerprint id and
+  // its share), if any frames were seen.
+  std::optional<std::pair<int, double>> current_vote(
+      const capture::MacAddress& beamformer) const;
+
+  VerdictCounts counts() const { return counts_; }
+
+ private:
+  const Authenticator& classifier_;
+  const DeviceRegistry& registry_;
+  std::size_t window_;
+  std::map<std::string, std::deque<int>> history_;  // per beamformer MAC
+  VerdictCounts counts_;
+};
+
+}  // namespace deepcsi::core

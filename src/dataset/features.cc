@@ -1,0 +1,183 @@
+#include "dataset/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "common/check.h"
+#include "feedback/quantizer.h"
+
+namespace deepcsi::dataset {
+namespace {
+
+// Selected positions (into the report's sub-carrier list) for a spec.
+std::vector<std::size_t> selected_positions(const InputSpec& spec) {
+  DEEPCSI_CHECK(spec.subcarrier_stride >= 1);
+  const std::vector<std::size_t> band = phy::subband_positions(spec.band);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < band.size();
+       i += static_cast<std::size_t>(spec.subcarrier_stride))
+    out.push_back(band[i]);
+  return out;
+}
+
+// Remove a + b*k fitted to the unwrapped phase of one antenna row
+// (the offset-cleaning step of [36]; see Fig. 16).
+void clean_linear_phase(std::vector<linalg::cplx>& row,
+                        const std::vector<int>& ks) {
+  DEEPCSI_CHECK(row.size() == ks.size());
+  const std::size_t n = row.size();
+  if (n < 2) return;
+  std::vector<double> phase(n);
+  double prev = std::arg(row[0]);
+  phase[0] = prev;
+  for (std::size_t i = 1; i < n; ++i) {
+    double p = std::arg(row[i]);
+    while (p - prev > std::numbers::pi) p -= 2.0 * std::numbers::pi;
+    while (p - prev < -std::numbers::pi) p += 2.0 * std::numbers::pi;
+    phase[i] = p;
+    prev = p;
+  }
+  // Least-squares line fit phase ~ a + b*k.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = ks[i];
+    sx += x;
+    sy += phase[i];
+    sxx += x * x;
+    sxy += x * phase[i];
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return;
+  const double b = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  const double a = (sy - b * sx) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    row[i] *= std::polar(1.0, -(a + b * ks[i]));
+}
+
+}  // namespace
+
+int num_input_channels(const InputSpec& spec) {
+  DEEPCSI_CHECK(spec.num_antennas >= 1 && spec.num_antennas <= kNumTxAntennas);
+  const bool includes_last = spec.num_antennas == kNumTxAntennas;
+  return 2 * spec.num_antennas - (includes_last ? 1 : 0);
+}
+
+std::size_t num_input_columns(const InputSpec& spec) {
+  return selected_positions(spec).size();
+}
+
+void fill_features(const feedback::CompressedFeedbackReport& report,
+                   const InputSpec& spec, float* out) {
+  DEEPCSI_CHECK_MSG(spec.stream >= 0 && spec.stream < report.nss,
+                    "requested spatial stream not in this feedback");
+  DEEPCSI_CHECK(spec.num_antennas <= report.m);
+
+  const std::vector<std::size_t> positions = selected_positions(spec);
+  const std::size_t w = positions.size();
+  const int a = spec.num_antennas;
+
+  // Reconstruct the selected Vtilde column for each selected sub-carrier.
+  std::vector<std::vector<linalg::cplx>> rows(
+      static_cast<std::size_t>(a), std::vector<linalg::cplx>(w));
+  std::vector<int> ks(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t pos = positions[i];
+    DEEPCSI_CHECK(pos < report.per_subcarrier.size());
+    const linalg::CMat v = feedback::reconstruct_v(
+        feedback::dequantize(report.per_subcarrier[pos], report.quant));
+    for (int m = 0; m < a; ++m)
+      rows[static_cast<std::size_t>(m)][i] =
+          v(static_cast<std::size_t>(m), static_cast<std::size_t>(spec.stream));
+    ks[i] = report.subcarriers[pos];
+  }
+
+  if (spec.offset_correction)
+    for (int m = 0; m < a; ++m)
+      clean_linear_phase(rows[static_cast<std::size_t>(m)], ks);
+
+  // Channel layout: I_0, Q_0, I_1, Q_1, ..., with Q omitted for the last
+  // TX antenna row (real non-negative by construction).
+  std::size_t ch = 0;
+  for (int m = 0; m < a; ++m) {
+    const bool is_last_tx_row = (m == report.m - 1);
+    float* i_plane = out + ch * w;
+    ++ch;
+    float* q_plane = nullptr;
+    if (!is_last_tx_row) {
+      q_plane = out + ch * w;
+      ++ch;
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      i_plane[i] = static_cast<float>(rows[static_cast<std::size_t>(m)][i].real());
+      if (q_plane != nullptr)
+        q_plane[i] =
+            static_cast<float>(rows[static_cast<std::size_t>(m)][i].imag());
+    }
+  }
+  DEEPCSI_CHECK(ch == static_cast<std::size_t>(num_input_channels(spec)));
+}
+
+nn::LabeledSet make_labeled_set(const std::vector<Trace>& traces,
+                                const InputSpec& spec, double lo_frac,
+                                double hi_frac) {
+  DEEPCSI_CHECK(lo_frac >= 0.0 && hi_frac <= 1.0 && lo_frac <= hi_frac);
+  return make_labeled_set_where(
+      traces, spec, [&](const Snapshot& snap) {
+        return snap.t_frac >= lo_frac &&
+               (snap.t_frac < hi_frac || (hi_frac == 1.0 && snap.t_frac <= 1.0));
+      });
+}
+
+void shuffle_labeled_set(nn::LabeledSet& set, std::uint64_t seed) {
+  DEEPCSI_CHECK(!set.empty());
+  const std::size_t n = set.size();
+  const std::size_t row_elems = set.x.numel() / set.x.dim(0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  nn::Tensor x(set.x.shape());
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(set.x.data() + order[i] * row_elems,
+              set.x.data() + (order[i] + 1) * row_elems,
+              x.data() + i * row_elems);
+    y[i] = set.y[order[i]];
+  }
+  set.x = std::move(x);
+  set.y = std::move(y);
+}
+
+nn::LabeledSet make_labeled_set_where(
+    const std::vector<Trace>& traces, const InputSpec& spec,
+    const std::function<bool(const Snapshot&)>& keep) {
+  DEEPCSI_CHECK(!traces.empty());
+  const std::size_t c = static_cast<std::size_t>(num_input_channels(spec));
+  const std::size_t w = num_input_columns(spec);
+
+  std::size_t count = 0;
+  for (const Trace& t : traces)
+    for (const Snapshot& s : t.snapshots)
+      if (keep(s)) ++count;
+  DEEPCSI_CHECK_MSG(count > 0, "snapshot filter selected nothing");
+
+  nn::LabeledSet set;
+  set.num_classes = phy::kNumModules;
+  set.x = nn::Tensor({count, c, 1, w});
+  set.y.reserve(count);
+  std::size_t row = 0;
+  for (const Trace& t : traces) {
+    for (const Snapshot& s : t.snapshots) {
+      if (!keep(s)) continue;
+      fill_features(s.report, spec, set.x.data() + row * c * w);
+      set.y.push_back(t.module_id);
+      ++row;
+    }
+  }
+  return set;
+}
+
+}  // namespace deepcsi::dataset

@@ -1,0 +1,156 @@
+#include "dataset/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "capture/pcap.h"
+#include "capture/vht_frame.h"
+#include "common/check.h"
+
+namespace deepcsi::dataset {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'S', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put(std::FILE* f, const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f) != n)
+    throw std::runtime_error("trace archive: short write");
+}
+
+void get(std::FILE* f, void* p, std::size_t n) {
+  if (std::fread(p, 1, n, f) != n)
+    throw std::runtime_error("trace archive: truncated");
+}
+
+template <typename T>
+void put_pod(std::FILE* f, T v) {
+  put(f, &v, sizeof(T));
+}
+
+template <typename T>
+T get_pod(std::FILE* f) {
+  T v{};
+  get(f, &v, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void save_traces(const std::string& path, const std::vector<Trace>& traces) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot write trace archive: " + path);
+  put(f.get(), kMagic, 4);
+  put_pod<std::uint32_t>(f.get(), kVersion);
+  put_pod<std::uint32_t>(f.get(), static_cast<std::uint32_t>(traces.size()));
+  for (const Trace& t : traces) {
+    put_pod<std::int32_t>(f.get(), t.module_id);
+    put_pod<std::int32_t>(f.get(), t.beamformee);
+    put_pod<std::int32_t>(f.get(), t.position);
+    put_pod<std::int32_t>(f.get(), t.trace_index);
+    put_pod<std::uint8_t>(f.get(), t.mobile ? 1 : 0);
+    put_pod<std::uint32_t>(f.get(),
+                           static_cast<std::uint32_t>(t.snapshots.size()));
+    for (const Snapshot& s : t.snapshots) {
+      put_pod<double>(f.get(), s.t_frac);
+      const auto& r = s.report;
+      put_pod<std::int32_t>(f.get(), r.quant.b_phi);
+      put_pod<std::int32_t>(f.get(), r.quant.b_psi);
+      put_pod<std::int32_t>(f.get(), r.m);
+      put_pod<std::int32_t>(f.get(), r.nss);
+      put_pod<std::uint32_t>(f.get(),
+                             static_cast<std::uint32_t>(r.subcarriers.size()));
+      for (int k : r.subcarriers) put_pod<std::int32_t>(f.get(), k);
+      for (const auto& qa : r.per_subcarrier) {
+        for (std::uint16_t q : qa.q_phi) put_pod<std::uint16_t>(f.get(), q);
+        for (std::uint16_t q : qa.q_psi) put_pod<std::uint16_t>(f.get(), q);
+      }
+    }
+  }
+}
+
+std::vector<Trace> load_traces(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot read trace archive: " + path);
+  char magic[4];
+  get(f.get(), magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("not a DeepCSI trace archive: " + path);
+  if (get_pod<std::uint32_t>(f.get()) != kVersion)
+    throw std::runtime_error("unsupported trace archive version");
+
+  const std::uint32_t count = get_pod<std::uint32_t>(f.get());
+  std::vector<Trace> traces;
+  traces.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Trace t;
+    t.module_id = get_pod<std::int32_t>(f.get());
+    t.beamformee = get_pod<std::int32_t>(f.get());
+    t.position = get_pod<std::int32_t>(f.get());
+    t.trace_index = get_pod<std::int32_t>(f.get());
+    t.mobile = get_pod<std::uint8_t>(f.get()) != 0;
+    const std::uint32_t snaps = get_pod<std::uint32_t>(f.get());
+    for (std::uint32_t s = 0; s < snaps; ++s) {
+      Snapshot snap;
+      snap.t_frac = get_pod<double>(f.get());
+      auto& r = snap.report;
+      r.quant.b_phi = get_pod<std::int32_t>(f.get());
+      r.quant.b_psi = get_pod<std::int32_t>(f.get());
+      r.m = get_pod<std::int32_t>(f.get());
+      r.nss = get_pod<std::int32_t>(f.get());
+      const std::uint32_t num_sc = get_pod<std::uint32_t>(f.get());
+      DEEPCSI_CHECK_MSG(r.m >= 1 && r.m <= 8 && r.nss >= 1 && r.nss <= r.m,
+                        "corrupt trace archive geometry");
+      r.subcarriers.resize(num_sc);
+      for (std::uint32_t k = 0; k < num_sc; ++k)
+        r.subcarriers[k] = get_pod<std::int32_t>(f.get());
+      const std::size_t angles = feedback::num_angles(r.m, r.nss);
+      for (std::uint32_t k = 0; k < num_sc; ++k) {
+        feedback::QuantizedAngles qa;
+        qa.m = r.m;
+        qa.nss = r.nss;
+        qa.q_phi.resize(angles);
+        qa.q_psi.resize(angles);
+        for (auto& q : qa.q_phi) q = get_pod<std::uint16_t>(f.get());
+        for (auto& q : qa.q_psi) q = get_pod<std::uint16_t>(f.get());
+        r.per_subcarrier.push_back(std::move(qa));
+      }
+      t.snapshots.push_back(std::move(snap));
+    }
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+void export_trace_pcap(const std::string& path, const Trace& trace,
+                       double duration_s) {
+  DEEPCSI_CHECK(!trace.snapshots.empty());
+  std::vector<capture::CapturedPacket> packets;
+  std::uint16_t seq = 0;
+  for (const Snapshot& snap : trace.snapshots) {
+    capture::BeamformingActionFrame frame;
+    frame.ra = capture::MacAddress::for_module(trace.module_id);
+    frame.ta = capture::MacAddress::for_station(trace.beamformee);
+    frame.bssid = frame.ra;
+    frame.sequence = seq++;
+    frame.mimo_control.nc = snap.report.nss;
+    frame.mimo_control.nr = snap.report.m;
+    frame.mimo_control.bandwidth = 2;  // the campaign ran on 80 MHz
+    frame.mimo_control.codebook_high =
+        snap.report.quant == feedback::mu_mimo_codebook_high();
+    frame.report = feedback::pack_report(snap.report);
+    packets.push_back({snap.t_frac * duration_s, frame.serialize()});
+  }
+  capture::write_pcap(path, packets);
+}
+
+}  // namespace deepcsi::dataset

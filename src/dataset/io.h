@@ -1,0 +1,28 @@
+// Dataset persistence: binary trace archives and pcap export.
+//
+// The paper pledges to share its 800 GB capture corpus; this module is the
+// equivalent facility for the simulated campaign — traces round-trip
+// through a compact binary format, and any trace can be exported as a
+// standard pcap of VHT Compressed Beamforming frames so that third-party
+// tooling (Wireshark, the capture/monitor observer) can consume it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/traces.h"
+
+namespace deepcsi::dataset {
+
+// Binary archive ("DCST" format). Throws std::runtime_error on I/O or
+// format errors.
+void save_traces(const std::string& path, const std::vector<Trace>& traces);
+std::vector<Trace> load_traces(const std::string& path);
+
+// Exports one trace as a pcap of beamforming feedback frames: one frame
+// per snapshot, transmitted by the trace's beamformee to the module's
+// MAC, timestamps spread over the given duration.
+void export_trace_pcap(const std::string& path, const Trace& trace,
+                       double duration_s = 120.0);
+
+}  // namespace deepcsi::dataset

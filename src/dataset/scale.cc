@@ -1,0 +1,21 @@
+#include "dataset/scale.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace deepcsi::dataset {
+
+Scale quick_scale() { return Scale{16, 32, 2}; }
+
+Scale full_scale() { return Scale{48, 96, 1}; }
+
+bool full_scale_selected() {
+  const char* env = std::getenv("DEEPCSI_SCALE");
+  return env != nullptr && std::strcmp(env, "full") == 0;
+}
+
+Scale scale_from_env() {
+  return full_scale_selected() ? full_scale() : quick_scale();
+}
+
+}  // namespace deepcsi::dataset

@@ -1,0 +1,152 @@
+#include "dataset/splits.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/trainer.h"
+
+namespace deepcsi::dataset {
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+std::vector<Trace> generate_d1_traces(const std::vector<int>& positions,
+                                      int beamformee, const Scale& scale,
+                                      const GeneratorConfig& gen) {
+  std::vector<Trace> traces;
+  for (int module = 0; module < phy::kNumModules; ++module)
+    for (int pos : positions)
+      traces.push_back(generate_d1_trace(module, pos, beamformee, scale, gen));
+  return traces;
+}
+
+std::vector<Trace> generate_d2_traces(const std::vector<int>& indices,
+                                      int beamformee, const Scale& scale,
+                                      const GeneratorConfig& gen) {
+  std::vector<Trace> traces;
+  for (int module = 0; module < phy::kNumModules; ++module)
+    for (int idx : indices)
+      traces.push_back(generate_d2_trace(module, idx, beamformee, scale, gen));
+  return traces;
+}
+
+SplitSets build_d1_single(const D1Options& opt, int beamformee) {
+  D1Split split = d1_split(opt.set);
+  if (opt.max_train_positions > 0) {
+    DEEPCSI_CHECK(static_cast<std::size_t>(opt.max_train_positions) <=
+                  split.train_positions.size());
+    split.train_positions.resize(
+        static_cast<std::size_t>(opt.max_train_positions));
+  }
+
+  // Positions appearing on both sides use the paper's time split; the rest
+  // contribute whole traces to one side.
+  std::vector<int> shared, train_only, test_only;
+  for (int p : split.train_positions)
+    (contains(split.test_positions, p) ? shared : train_only).push_back(p);
+  for (int p : split.test_positions)
+    if (!contains(split.train_positions, p)) test_only.push_back(p);
+
+  SplitSets out;
+  if (!shared.empty()) {
+    const std::vector<Trace> traces =
+        generate_d1_traces(shared, beamformee, opt.scale, opt.gen);
+    out.train = make_labeled_set(traces, opt.input, 0.0,
+                                 opt.train_time_fraction);
+    out.test =
+        make_labeled_set(traces, opt.input, opt.train_time_fraction, 1.0);
+  }
+  if (!train_only.empty()) {
+    const std::vector<Trace> traces =
+        generate_d1_traces(train_only, beamformee, opt.scale, opt.gen);
+    out.train = nn::concat(out.train, make_labeled_set(traces, opt.input));
+  }
+  if (!test_only.empty()) {
+    const std::vector<Trace> traces =
+        generate_d1_traces(test_only, beamformee, opt.scale, opt.gen);
+    out.test = nn::concat(out.test, make_labeled_set(traces, opt.input));
+  }
+  DEEPCSI_CHECK(!out.train.empty() && !out.test.empty());
+  shuffle_labeled_set(out.train, opt.gen.seed ^ 0x5u);
+  return out;
+}
+
+}  // namespace
+
+D1Split d1_split(SetId set) {
+  switch (set) {
+    case SetId::kS1:
+      return {{1, 2, 3, 4, 5, 6, 7, 8, 9}, {1, 2, 3, 4, 5, 6, 7, 8, 9}};
+    case SetId::kS2:
+      return {{1, 3, 5, 7, 9}, {2, 4, 6, 8}};
+    case SetId::kS3:
+      return {{1, 2, 3, 4, 5}, {6, 7, 8, 9}};
+    default:
+      DEEPCSI_CHECK_MSG(false, "d1_split expects S1..S3");
+      return {};
+  }
+}
+
+std::vector<int> d2_group_fix1() { return {0, 1}; }
+std::vector<int> d2_group_fix2() { return {2, 3}; }
+std::vector<int> d2_group_mob1() { return {4, 5, 6, 7}; }
+std::vector<int> d2_group_mob2() { return {8, 9, 10}; }
+
+D2Split d2_split(SetId set) {
+  auto join = [](std::vector<int> a, const std::vector<int>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  };
+  switch (set) {
+    case SetId::kS4:
+      return {d2_group_mob1(), d2_group_mob2()};
+    case SetId::kS5:
+      return {join(d2_group_fix1(), d2_group_fix2()),
+              join(d2_group_mob1(), d2_group_mob2())};
+    case SetId::kS6:
+      return {join(d2_group_mob1(), d2_group_mob2()),
+              join(d2_group_fix1(), d2_group_fix2())};
+    default:
+      DEEPCSI_CHECK_MSG(false, "d2_split expects S4..S6");
+      return {};
+  }
+}
+
+SplitSets build_d1(const D1Options& opt) {
+  if (!opt.mix_beamformees) return build_d1_single(opt, opt.beamformee);
+  const SplitSets a = build_d1_single(opt, 0);
+  const SplitSets b = build_d1_single(opt, 1);
+  return {nn::concat(a.train, b.train), nn::concat(a.test, b.test)};
+}
+
+SplitSets build_d2(const D2Options& opt) {
+  const D2Split split = d2_split(opt.set);
+  const std::vector<Trace> train_traces =
+      generate_d2_traces(split.train_traces, opt.beamformee, opt.scale, opt.gen);
+  const std::vector<Trace> test_traces =
+      generate_d2_traces(split.test_traces, opt.beamformee, opt.scale, opt.gen);
+
+  SplitSets out;
+  if (opt.subpath_variant) {
+    DEEPCSI_CHECK_MSG(opt.set == SetId::kS4,
+                      "the sub-path experiment is defined on S4");
+    // Train: first half of the walk (A-B-C and back to B). Test: the
+    // B-D-B window, path fraction in [1/2, 5/6].
+    out.train = make_labeled_set_where(
+        train_traces, opt.input,
+        [](const Snapshot& s) { return s.t_frac < 0.5; });
+    out.test = make_labeled_set_where(
+        test_traces, opt.input, [](const Snapshot& s) {
+          return s.t_frac >= 0.5 && s.t_frac <= 5.0 / 6.0;
+        });
+  } else {
+    out.train = make_labeled_set(train_traces, opt.input);
+    out.test = make_labeled_set(test_traces, opt.input);
+  }
+  shuffle_labeled_set(out.train, opt.gen.seed ^ 0x6u);
+  return out;
+}
+
+}  // namespace deepcsi::dataset

@@ -1,0 +1,181 @@
+#include "dataset/traces.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "feedback/angles.h"
+#include "phy/channel.h"
+#include "phy/geometry.h"
+
+namespace deepcsi::dataset {
+namespace {
+
+using phy::Point;
+using phy::Scatterer;
+using phy::Scene;
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Shared pipeline: true channel -> estimated CFR -> V -> quantized report.
+Snapshot make_snapshot(const phy::ChannelModel& channel, const Point& ap,
+                       const Point& bf_pos,
+                       const std::vector<Scatterer>& extra,
+                       const phy::ModuleProfile& module_profile,
+                       const phy::TraceContext& trace_ctx,
+                       const phy::BeamformeeProfile& bf_profile, int n_rx,
+                       int nss, const GeneratorConfig& cfg, double t_frac,
+                       std::mt19937_64& rng) {
+  const std::vector<int>& subcarriers = phy::vht80_sounded_subcarriers();
+  const phy::FadingParams fading;
+  const phy::Cfr truth = channel.cfr(ap, bf_pos, kNumTxAntennas, n_rx,
+                                     subcarriers, extra, fading, rng);
+  phy::SoundingNoise noise;
+  noise.snr_db = cfg.snr_db;
+  const phy::Cfr est =
+      phy::estimate_cfr(module_profile, trace_ctx, bf_profile, truth,
+                        kNumTxAntennas, n_rx, noise, rng);
+  const std::vector<linalg::CMat> v = feedback::beamforming_v(est.h, nss);
+
+  Snapshot snap;
+  snap.t_frac = t_frac;
+  snap.report = feedback::compress_v_series(v, subcarriers, cfg.quant);
+  return snap;
+}
+
+}  // namespace
+
+Trace generate_d1_trace(int module_id, int position, int beamformee,
+                        const Scale& scale, const GeneratorConfig& cfg) {
+  DEEPCSI_CHECK(module_id >= 0 && module_id < phy::kNumModules);
+  DEEPCSI_CHECK(position >= 1 && position <= phy::kNumBeamformeePositions);
+  DEEPCSI_CHECK(beamformee == 0 || beamformee == 1);
+  DEEPCSI_CHECK(scale.d1_snapshots_per_trace >= 1);
+
+  const Scene scene(cfg.environment);
+  const phy::ChannelModel channel(scene);
+  const phy::ModuleProfile module_profile =
+      phy::make_module_profile(module_id, kNumTxAntennas, cfg.toggles);
+  const phy::BeamformeeProfile bf_profile =
+      phy::make_beamformee_profile(beamformee, /*num_chains=*/2);
+
+  // The module's power-cycle state is shared by both beamformees of the
+  // same measurement, so the context seed must not depend on `beamformee`.
+  const std::uint64_t measurement_seed =
+      mix(cfg.seed, mix(static_cast<std::uint64_t>(module_id),
+                        static_cast<std::uint64_t>(position)));
+  phy::TraceContext trace_ctx =
+      phy::make_trace_context(module_profile, measurement_seed);
+  if (!cfg.toggles.static_phase)
+    std::fill(trace_ctx.chain_phase_drift.begin(),
+              trace_ctx.chain_phase_drift.end(), 0.0);
+
+  Trace trace;
+  trace.module_id = module_id;
+  trace.beamformee = beamformee;
+  trace.position = position;
+  trace.trace_index = position;
+  trace.mobile = false;
+
+  const Point ap = scene.ap_position_a();
+  const Point bf_pos = scene.beamformee_position(beamformee, position);
+  const int n = scale.d1_snapshots_per_trace;
+  for (int i = 0; i < n; ++i) {
+    std::mt19937_64 rng(
+        mix(measurement_seed,
+            mix(static_cast<std::uint64_t>(beamformee) + 101,
+                static_cast<std::uint64_t>(i))));
+    const double t_frac = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    trace.snapshots.push_back(make_snapshot(
+        channel, ap, bf_pos, /*extra=*/{}, module_profile, trace_ctx,
+        bf_profile, /*n_rx=*/2, /*nss=*/2, cfg, t_frac, rng));
+  }
+  return trace;
+}
+
+bool d2_trace_is_mobile(int trace_index) {
+  DEEPCSI_CHECK(trace_index >= 0 && trace_index < kNumD2Traces);
+  return trace_index >= 4;
+}
+
+Trace generate_d2_trace(int module_id, int trace_index, int beamformee,
+                        const Scale& scale, const GeneratorConfig& cfg) {
+  DEEPCSI_CHECK(module_id >= 0 && module_id < phy::kNumModules);
+  DEEPCSI_CHECK(trace_index >= 0 && trace_index < kNumD2Traces);
+  DEEPCSI_CHECK(beamformee == 0 || beamformee == 1);
+  DEEPCSI_CHECK(scale.d2_snapshots_per_trace >= 1);
+
+  const Scene scene(cfg.environment);
+  const phy::ChannelModel channel(scene);
+  const phy::ModuleProfile module_profile =
+      phy::make_module_profile(module_id, kNumTxAntennas, cfg.toggles);
+  // Beamformee 0: N = NSS = 1; beamformee 1: N = NSS = 2 (Sec. IV).
+  const int n_rx = beamformee == 0 ? 1 : 2;
+  const int nss = n_rx;
+  const phy::BeamformeeProfile bf_profile =
+      phy::make_beamformee_profile(beamformee, n_rx);
+
+  const std::uint64_t measurement_seed =
+      mix(cfg.seed ^ 0xD2D2ULL, mix(static_cast<std::uint64_t>(module_id),
+                                    static_cast<std::uint64_t>(trace_index)));
+  phy::TraceContext trace_ctx =
+      phy::make_trace_context(module_profile, measurement_seed);
+  if (!cfg.toggles.static_phase)
+    std::fill(trace_ctx.chain_phase_drift.begin(),
+              trace_ctx.chain_phase_drift.end(), 0.0);
+
+  const bool mobile = d2_trace_is_mobile(trace_index);
+
+  Trace trace;
+  trace.module_id = module_id;
+  trace.beamformee = beamformee;
+  trace.position = 3;  // beamformees pinned at position 3
+  trace.trace_index = trace_index;
+  trace.mobile = mobile;
+
+  const Point bf_pos = scene.beamformee_position(beamformee, 3);
+
+  // The manual walk is never twice the same: a per-trace lateral offset and
+  // a per-snapshot wobble perturb the nominal path.
+  std::mt19937_64 walk_rng(mix(measurement_seed, 0x3A1CULL));
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const Point trace_offset{0.05 * gauss(walk_rng), 0.05 * gauss(walk_rng), 0.0};
+
+  const int n = scale.d2_snapshots_per_trace;
+  for (int i = 0; i < n; ++i) {
+    std::mt19937_64 rng(
+        mix(measurement_seed,
+            mix(static_cast<std::uint64_t>(beamformee) + 101,
+                static_cast<std::uint64_t>(i))));
+    const double t_frac = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+
+    Point ap = scene.ap_position_a();
+    std::vector<Scatterer> extra;
+    if (mobile) {
+      // The walk starts and ends on the marked position A, so the manual
+      // drift is anchored at the endpoints and largest mid-path.
+      const double drift_gain = std::sin(std::numbers::pi * t_frac);
+      ap = scene.mobility_path(t_frac) + trace_offset * drift_gain +
+           Point{0.02 * gauss(rng), 0.02 * gauss(rng), 0.0};
+    }
+    // The operator stays near the AP for every D2 acquisition: walking it
+    // on mobility traces, standing by on the static ones (Sec. IV-A).
+    extra.push_back(Scatterer{
+        ap + Point{0.1 * gauss(rng), -0.4 + 0.1 * gauss(rng), 0.4}, 0.35});
+    trace.snapshots.push_back(make_snapshot(
+        channel, ap, bf_pos, extra, module_profile, trace_ctx, bf_profile,
+        n_rx, nss, cfg, t_frac, rng));
+  }
+  return trace;
+}
+
+}  // namespace deepcsi::dataset

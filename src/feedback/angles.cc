@@ -1,0 +1,143 @@
+#include "feedback/angles.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "linalg/svd.h"
+
+namespace deepcsi::feedback {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double wrap_to_2pi(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+}  // namespace
+
+std::size_t num_angles(int m, int nss) {
+  DEEPCSI_CHECK(m >= 1 && nss >= 1 && nss <= m);
+  std::size_t n = 0;
+  const int imax = std::min(nss, m - 1);
+  for (int i = 1; i <= imax; ++i) n += static_cast<std::size_t>(m - i);
+  return n;
+}
+
+CMat d_matrix(int m, int i, const std::vector<double>& phi_col) {
+  DEEPCSI_CHECK(i >= 1 && i <= m - 1);
+  DEEPCSI_CHECK(phi_col.size() == static_cast<std::size_t>(m - i));
+  CMat d = CMat::identity(static_cast<std::size_t>(m));
+  // Diagonal: I_{i-1}, e^{j phi_{i,i}} .. e^{j phi_{M-1,i}}, 1 (Eq. (4)).
+  for (int l = i; l <= m - 1; ++l)
+    d(static_cast<std::size_t>(l - 1), static_cast<std::size_t>(l - 1)) =
+        std::polar(1.0, phi_col[static_cast<std::size_t>(l - i)]);
+  return d;
+}
+
+CMat g_matrix(int m, int l, int i, double psi) {
+  DEEPCSI_CHECK(i >= 1 && l > i && l <= m);
+  CMat g = CMat::identity(static_cast<std::size_t>(m));
+  const double c = std::cos(psi), s = std::sin(psi);
+  const std::size_t a = static_cast<std::size_t>(i - 1);
+  const std::size_t b = static_cast<std::size_t>(l - 1);
+  g(a, a) = c;
+  g(a, b) = s;
+  g(b, a) = -s;
+  g(b, b) = c;
+  return g;
+}
+
+BfmAngles decompose_v(const CMat& v) {
+  const int m = static_cast<int>(v.rows());
+  const int nss = static_cast<int>(v.cols());
+  DEEPCSI_CHECK_MSG(nss <= m, "V must be tall (M >= NSS)");
+
+  BfmAngles out;
+  out.m = m;
+  out.nss = nss;
+  out.phi.reserve(num_angles(m, nss));
+  out.psi.reserve(num_angles(m, nss));
+
+  // Dtilde normalization: make the last row real non-negative.
+  CMat omega = v;
+  for (int c = 0; c < nss; ++c) {
+    const cplx last = v(static_cast<std::size_t>(m - 1),
+                        static_cast<std::size_t>(c));
+    omega.scale_col(static_cast<std::size_t>(c),
+                    std::polar(1.0, -std::arg(last)));
+  }
+
+  const int imax = std::min(nss, m - 1);
+  for (int i = 1; i <= imax; ++i) {
+    // Column phases phi_{l,i}, l = i..M-1.
+    std::vector<double> phi_col;
+    for (int l = i; l <= m - 1; ++l) {
+      const double phi = wrap_to_2pi(std::arg(
+          omega(static_cast<std::size_t>(l - 1), static_cast<std::size_t>(i - 1))));
+      phi_col.push_back(phi);
+      out.phi.push_back(phi);
+    }
+    omega = d_matrix(m, i, phi_col).hermitian() * omega;
+
+    // Givens angles psi_{l,i}, l = i+1..M.
+    for (int l = i + 1; l <= m; ++l) {
+      const double x = omega(static_cast<std::size_t>(i - 1),
+                             static_cast<std::size_t>(i - 1))
+                           .real();
+      const double y = omega(static_cast<std::size_t>(l - 1),
+                             static_cast<std::size_t>(i - 1))
+                           .real();
+      const double denom = std::sqrt(x * x + y * y);
+      const double psi =
+          denom > 0.0 ? std::acos(std::min(1.0, std::max(-1.0, x / denom)))
+                      : 0.0;
+      out.psi.push_back(psi);
+      omega = g_matrix(m, l, i, psi) * omega;
+    }
+  }
+  return out;
+}
+
+CMat reconstruct_v(const BfmAngles& angles) {
+  const int m = angles.m, nss = angles.nss;
+  DEEPCSI_CHECK(num_angles(m, nss) == angles.phi.size());
+  DEEPCSI_CHECK(num_angles(m, nss) == angles.psi.size());
+
+  CMat acc = CMat::identity(static_cast<std::size_t>(m));
+  std::size_t phi_cursor = 0, psi_cursor = 0;
+  const int imax = std::min(nss, m - 1);
+  for (int i = 1; i <= imax; ++i) {
+    std::vector<double> phi_col(angles.phi.begin() + phi_cursor,
+                                angles.phi.begin() + phi_cursor + (m - i));
+    phi_cursor += static_cast<std::size_t>(m - i);
+    acc = acc * d_matrix(m, i, phi_col);
+    for (int l = i + 1; l <= m; ++l) {
+      acc = acc * g_matrix(m, l, i, angles.psi[psi_cursor]).transpose();
+      ++psi_cursor;
+    }
+  }
+  return acc * CMat::eye(static_cast<std::size_t>(m),
+                         static_cast<std::size_t>(nss));
+}
+
+std::vector<CMat> beamforming_v(const std::vector<CMat>& h_per_k, int nss) {
+  DEEPCSI_CHECK(!h_per_k.empty());
+  const std::size_t m = h_per_k.front().rows();
+  const std::size_t n = h_per_k.front().cols();
+  DEEPCSI_CHECK_MSG(static_cast<std::size_t>(nss) <= std::min(m, n),
+                    "a beamformee with N antennas supports at most N streams");
+  std::vector<CMat> out;
+  out.reserve(h_per_k.size());
+  for (const CMat& h : h_per_k) {
+    DEEPCSI_CHECK(h.rows() == m && h.cols() == n);
+    const linalg::Svd d = linalg::svd(h.transpose());  // H^T = U S Z†
+    out.push_back(d.v.first_columns(static_cast<std::size_t>(nss)));
+  }
+  return out;
+}
+
+}  // namespace deepcsi::feedback

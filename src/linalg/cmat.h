@@ -1,0 +1,98 @@
+// Dense complex-valued matrix used throughout the PHY / feedback layers.
+//
+// Channel matrices in this project are tiny (at most 4x4), so the class
+// optimizes for clarity and correctness rather than cache blocking. Storage
+// is row-major std::complex<double>.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace deepcsi::linalg {
+
+using cplx = std::complex<double>;
+
+class CMat {
+ public:
+  CMat() = default;
+  CMat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  static CMat identity(std::size_t n);
+  // Rectangular "identity": ones on the main diagonal, zeros elsewhere
+  // (the I_{c x d} matrix of the paper's notation section).
+  static CMat eye(std::size_t rows, std::size_t cols);
+  static CMat diag(const std::vector<cplx>& d);
+  // i.i.d. CN(0, 1) entries; used by property tests and channel models.
+  static CMat random_gaussian(std::size_t rows, std::size_t cols,
+                              std::mt19937_64& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c) {
+    DEEPCSI_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    DEEPCSI_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<cplx>& data() const { return data_; }
+
+  CMat transpose() const;
+  CMat conjugate() const;
+  // Hermitian (conjugate transpose), the paper's dagger operator.
+  CMat hermitian() const;
+
+  CMat operator+(const CMat& other) const;
+  CMat operator-(const CMat& other) const;
+  CMat operator*(const CMat& other) const;  // matrix product
+  CMat operator*(cplx scalar) const;
+
+  CMat& operator+=(const CMat& other);
+  CMat& operator*=(cplx scalar);
+
+  // Columns [0, n) as a new rows() x n matrix (the V_k extraction step).
+  CMat first_columns(std::size_t n) const;
+  std::vector<cplx> column(std::size_t c) const;
+  void set_column(std::size_t c, const std::vector<cplx>& v);
+
+  // Scale row r (resp. column c) by a complex factor in place.
+  void scale_row(std::size_t r, cplx factor);
+  void scale_col(std::size_t c, cplx factor);
+
+  double frobenius_norm() const;
+  double max_abs() const;
+
+  bool same_shape(const CMat& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+// max_ij |a_ij - b_ij|; throws if shapes differ.
+double max_abs_diff(const CMat& a, const CMat& b);
+
+// ||A† A - I||_max; a matrix with orthonormal columns yields ~0.
+double orthonormality_defect(const CMat& a);
+
+bool is_unitary(const CMat& a, double tol = 1e-10);
+
+// Distance between the column spaces of two matrices with orthonormal
+// columns, invariant to per-column phase: sqrt(n - ||A† B||_F^2).
+// Zero iff the spans coincide. Used to compare V before/after feedback
+// compression, where each column is only defined up to a unit phase.
+double subspace_distance(const CMat& a, const CMat& b);
+
+}  // namespace deepcsi::linalg

@@ -1,0 +1,48 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace deepcsi::linalg {
+
+CMat solve(const CMat& a, const CMat& b) {
+  DEEPCSI_CHECK_MSG(a.rows() == a.cols(), "solve needs a square system");
+  DEEPCSI_CHECK(a.rows() == b.rows());
+  const std::size_t n = a.rows(), m = b.cols();
+
+  CMat work = a;
+  CMat rhs = b;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::abs(work(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(work(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    DEEPCSI_CHECK_MSG(best > 1e-12, "singular system in solve()");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(work(col, c), work(pivot, c));
+      for (std::size_t c = 0; c < m; ++c) std::swap(rhs(col, c), rhs(pivot, c));
+    }
+    const cplx inv_p = cplx{1.0, 0.0} / work(col, col);
+    for (std::size_t c = 0; c < n; ++c) work(col, c) *= inv_p;
+    for (std::size_t c = 0; c < m; ++c) rhs(col, c) *= inv_p;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const cplx f = work(r, col);
+      if (f == cplx{}) continue;
+      for (std::size_t c = 0; c < n; ++c) work(r, c) -= f * work(col, c);
+      for (std::size_t c = 0; c < m; ++c) rhs(r, c) -= f * rhs(col, c);
+    }
+  }
+  return rhs;
+}
+
+CMat inverse(const CMat& a) {
+  return solve(a, CMat::identity(a.rows()));
+}
+
+}  // namespace deepcsi::linalg

@@ -1,0 +1,16 @@
+// Small dense complex solves (Gauss-Jordan with partial pivoting).
+// Systems here are at most (sum of streams) x (sum of streams) = 4 x 4.
+#pragma once
+
+#include "linalg/cmat.h"
+
+namespace deepcsi::linalg {
+
+// Inverse of a square matrix; throws std::logic_error if singular
+// (pivot below tolerance).
+CMat inverse(const CMat& a);
+
+// Solves A X = B for X (A square).
+CMat solve(const CMat& a, const CMat& b);
+
+}  // namespace deepcsi::linalg

@@ -1,0 +1,148 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace deepcsi::linalg {
+namespace {
+
+// One-sided Jacobi on a tall (rows >= cols) matrix: repeatedly apply right
+// rotations until all column pairs are orthogonal. Returns the accumulated
+// right factor V such that input = output * V^dagger.
+CMat jacobi_orthogonalize(CMat& a) {
+  const std::size_t n = a.cols();
+  const std::size_t m = a.rows();
+  CMat v = CMat::identity(n);
+  constexpr int kMaxSweeps = 64;
+  constexpr double kTol = 1e-14;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries for columns p, q.
+        double app = 0.0, aqq = 0.0;
+        cplx apq{0.0, 0.0};
+        for (std::size_t r = 0; r < m; ++r) {
+          const cplx cp = a(r, p), cq = a(r, q);
+          app += std::norm(cp);
+          aqq += std::norm(cq);
+          apq += std::conj(cp) * cq;
+        }
+        const double denom = std::sqrt(app * aqq);
+        if (denom <= 0.0 || std::abs(apq) <= kTol * denom) continue;
+        off = std::max(off, std::abs(apq) / denom);
+
+        // Diagonalize the 2x2 Hermitian Gram block [[app, apq],[apq*, aqq]]:
+        // factor out the phase of apq, then a real Jacobi rotation.
+        const double phi = std::arg(apq);
+        const cplx eip = std::polar(1.0, phi);
+        const double h = std::abs(apq);
+        // Rotation angle from tan(2theta) = 2h / (app - aqq).
+        const double theta = 0.5 * std::atan2(2.0 * h, app - aqq);
+        const double c = std::cos(theta), s = std::sin(theta);
+
+        // Columns transform as [p', q'] = [p, q] * J with
+        // J = [[c*e^{i phi}, -s*e^{i phi}], [s, c]] (phase absorbed in p).
+        for (std::size_t r = 0; r < m; ++r) {
+          const cplx cp = a(r, p), cq = a(r, q);
+          a(r, p) = cp * (c * eip) + cq * s;
+          a(r, q) = cp * (-s * eip) + cq * c;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const cplx vp = v(r, p), vq = v(r, q);
+          v(r, p) = vp * (c * eip) + vq * s;
+          v(r, q) = vp * (-s * eip) + vq * c;
+        }
+      }
+    }
+    if (off <= kTol) break;
+  }
+  return v;
+}
+
+// Gram-Schmidt a candidate vector against the first `k` columns of u;
+// returns false if the residual is negligible.
+bool orthonormalize_against(CMat& u, std::size_t k, std::vector<cplx>& cand) {
+  const std::size_t m = u.rows();
+  for (std::size_t c = 0; c < k; ++c) {
+    cplx proj{0.0, 0.0};
+    for (std::size_t r = 0; r < m; ++r) proj += std::conj(u(r, c)) * cand[r];
+    for (std::size_t r = 0; r < m; ++r) cand[r] -= proj * u(r, c);
+  }
+  double nrm = 0.0;
+  for (const auto& x : cand) nrm += std::norm(x);
+  nrm = std::sqrt(nrm);
+  if (nrm < 1e-8) return false;
+  for (auto& x : cand) x /= nrm;
+  return true;
+}
+
+}  // namespace
+
+Svd svd(const CMat& a) {
+  DEEPCSI_CHECK_MSG(!a.empty(), "svd of empty matrix");
+  const bool transposed = a.rows() < a.cols();
+  CMat work = transposed ? a.hermitian() : a;  // tall matrix
+  const std::size_t m = work.rows(), n = work.cols();
+
+  CMat v = jacobi_orthogonalize(work);
+
+  // Column norms are the singular values; normalize to get U.
+  std::vector<double> s(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    double nrm = 0.0;
+    for (std::size_t r = 0; r < m; ++r) nrm += std::norm(work(r, c));
+    s[c] = std::sqrt(nrm);
+  }
+
+  // Sort singular values descending, permuting U (=work) and V columns.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return s[i] > s[j]; });
+
+  CMat u_sorted(m, n), v_sorted(v.rows(), n);
+  std::vector<double> s_sorted(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    s_sorted[c] = s[order[c]];
+    for (std::size_t r = 0; r < m; ++r) u_sorted(r, c) = work(r, order[c]);
+    for (std::size_t r = 0; r < v.rows(); ++r) v_sorted(r, c) = v(r, order[c]);
+  }
+
+  // Normalize U columns; complete a basis for (near-)zero singular values.
+  const double scale = std::max(s_sorted.front(), 1e-300);
+  std::mt19937_64 completion_rng(0x5eedULL);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (s_sorted[c] > 1e-13 * scale) {
+      for (std::size_t r = 0; r < m; ++r) u_sorted(r, c) /= s_sorted[c];
+    } else {
+      s_sorted[c] = 0.0;
+      std::vector<cplx> cand(m);
+      do {
+        std::normal_distribution<double> n01(0.0, 1.0);
+        for (auto& x : cand) x = cplx{n01(completion_rng), n01(completion_rng)};
+      } while (!orthonormalize_against(u_sorted, c, cand));
+      u_sorted.set_column(c, cand);
+    }
+  }
+
+  Svd out;
+  if (transposed) {
+    out.u = std::move(v_sorted);
+    out.v = std::move(u_sorted);
+  } else {
+    out.u = std::move(u_sorted);
+    out.v = std::move(v_sorted);
+  }
+  out.s = std::move(s_sorted);
+  return out;
+}
+
+CMat svd_reconstruct(const Svd& d) {
+  std::vector<cplx> sc(d.s.begin(), d.s.end());
+  return d.u * CMat::diag(sc) * d.v.hermitian();
+}
+
+}  // namespace deepcsi::linalg

@@ -1,0 +1,30 @@
+// Complex singular value decomposition via one-sided Jacobi.
+//
+// The 802.11ac sounding procedure decomposes the per-sub-channel CFR as
+// H_k^T = U_k S_k Z_k^dagger (paper Eq. (3)). Channel matrices are at most
+// 4x4, so a one-sided Jacobi sweep is both simple and numerically excellent
+// (it computes small singular values to high relative accuracy, which
+// matters because the fingerprint lives in low-amplitude structure).
+#pragma once
+
+#include <vector>
+
+#include "linalg/cmat.h"
+
+namespace deepcsi::linalg {
+
+struct Svd {
+  CMat u;                        // rows(a) x r, orthonormal columns
+  std::vector<double> s;         // r singular values, descending
+  CMat v;                        // cols(a) x r, orthonormal columns
+                                 // with r = min(rows, cols):  a = u diag(s) v†
+};
+
+// Thin SVD of an arbitrary complex matrix. Always succeeds for finite
+// inputs; rank-deficient matrices get an orthonormal completion of U/V.
+Svd svd(const CMat& a);
+
+// Reconstruct u diag(s) v† (test/debug helper).
+CMat svd_reconstruct(const Svd& d);
+
+}  // namespace deepcsi::linalg

@@ -1,0 +1,45 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace deepcsi::nn {
+
+Tensor Selu::forward(const Tensor& x, bool /*training*/) {
+  cached_x_ = x;
+  Tensor out = x;
+  float* __restrict d = out.data();
+  const std::size_t n = out.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = d[i];
+    d[i] = v > 0.0f ? kSeluLambda * v
+                    : kSeluLambda * kSeluAlpha * (std::exp(v) - 1.0f);
+  }
+  return out;
+}
+
+Tensor Selu::backward(const Tensor& grad_out) {
+  DEEPCSI_CHECK(!cached_x_.empty());
+  DEEPCSI_CHECK(grad_out.same_shape(cached_x_));
+  Tensor grad_in = grad_out;
+  float* __restrict g = grad_in.data();
+  const float* __restrict x = cached_x_.data();
+  const std::size_t n = grad_in.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    g[i] *= v > 0.0f ? kSeluLambda : kSeluLambda * kSeluAlpha * std::exp(v);
+  }
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  DEEPCSI_CHECK(x.rank() >= 2);
+  cached_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  DEEPCSI_CHECK(!cached_shape_.empty());
+  return grad_out.reshaped(cached_shape_);
+}
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,34 @@
+// Spatial attention block (inspired by CBAM's spatial attention module,
+// Woo et al. ECCV 2018), as described in Section III-C of the paper:
+//
+//   max/mean over the channel axis -> concat (2 maps) -> conv (1x5, same)
+//   -> sigmoid -> weights w; output = x + x (.) w  (skip connection).
+//
+// The attention lets the classifier focus on the sub-carrier regions where
+// the fingerprint is most informative.
+#pragma once
+
+#include <random>
+
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+
+namespace deepcsi::nn {
+
+class SpatialAttention final : public Layer {
+ public:
+  explicit SpatialAttention(std::mt19937_64& rng, std::size_t kernel_w = 5);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return conv_.params(); }
+  std::string name() const override { return "spatial_attention"; }
+
+ private:
+  Conv2d conv_;  // 2 -> 1 channels
+  Tensor cached_x_;
+  Tensor cached_w_;                  // sigmoid output, [N,1,H,W]
+  std::vector<std::size_t> argmax_;  // channel index of the max map
+};
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,153 @@
+#include "nn/conv2d.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+
+namespace deepcsi::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kh, std::size_t kw, std::mt19937_64& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kh_(kh),
+      kw_(kw),
+      pad_h_((kh - 1) / 2),
+      pad_w_((kw - 1) / 2),
+      weight_(Tensor({out_channels, in_channels, kh, kw})),
+      bias_(Tensor({out_channels})) {
+  DEEPCSI_CHECK_MSG(kh % 2 == 1 && kw % 2 == 1,
+                    "'same' padding requires odd kernels");
+  lecun_normal(weight_.value, in_channels * kh * kw, rng);
+  bias_.value.zero();
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+  DEEPCSI_CHECK(x.rank() == 4);
+  DEEPCSI_CHECK_MSG(x.dim(1) == in_channels_, "conv2d channel mismatch");
+  const std::size_t n_batch = x.dim(0), hh = x.dim(2), ww = x.dim(3);
+  cached_x_ = x;
+
+  Tensor out({n_batch, out_channels_, hh, ww});
+  const float* __restrict wt = weight_.value.data();
+  const float* __restrict bs = bias_.value.data();
+
+  for (std::size_t n = 0; n < n_batch; ++n) {
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      float* __restrict out_plane =
+          out.data() + ((n * out_channels_ + co) * hh) * ww;
+      std::fill(out_plane, out_plane + hh * ww, bs[co]);
+      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* __restrict x_plane =
+            x.data() + ((n * in_channels_ + ci) * hh) * ww;
+        for (std::size_t i = 0; i < kh_; ++i) {
+          for (std::size_t j = 0; j < kw_; ++j) {
+            const float wgt = wt[((co * in_channels_ + ci) * kh_ + i) * kw_ + j];
+            if (wgt == 0.0f) continue;
+            const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
+                                      static_cast<std::ptrdiff_t>(pad_h_);
+            const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
+                                      static_cast<std::ptrdiff_t>(pad_w_);
+            const std::size_t h_lo =
+                dh < 0 ? std::min(static_cast<std::size_t>(-dh), hh) : 0;
+            const std::size_t h_hi =
+                dh > 0 ? (hh > static_cast<std::size_t>(dh)
+                              ? hh - static_cast<std::size_t>(dh)
+                              : 0)
+                       : hh;
+            const std::size_t w_lo =
+                dw < 0 ? std::min(static_cast<std::size_t>(-dw), ww) : 0;
+            const std::size_t w_hi =
+                dw > 0 ? (ww > static_cast<std::size_t>(dw)
+                              ? ww - static_cast<std::size_t>(dw)
+                              : 0)
+                       : ww;
+            for (std::size_t h = h_lo; h < h_hi; ++h) {
+              float* __restrict o_row = out_plane + h * ww;
+              const std::size_t h_in =
+                  static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
+              const float* __restrict x_shift = x_plane + h_in * ww + dw;
+              for (std::size_t w = w_lo; w < w_hi; ++w)
+                o_row[w] += wgt * x_shift[w];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_x_;
+  DEEPCSI_CHECK(!x.empty());
+  DEEPCSI_CHECK(grad_out.rank() == 4 && grad_out.dim(1) == out_channels_);
+  const std::size_t n_batch = x.dim(0), hh = x.dim(2), ww = x.dim(3);
+  DEEPCSI_CHECK(grad_out.dim(0) == n_batch && grad_out.dim(2) == hh &&
+                grad_out.dim(3) == ww);
+
+  Tensor grad_in({n_batch, in_channels_, hh, ww});
+  const float* __restrict wt = weight_.value.data();
+  float* __restrict gw = weight_.grad.data();
+  float* __restrict gb = bias_.grad.data();
+
+  for (std::size_t n = 0; n < n_batch; ++n) {
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      const float* __restrict g_plane =
+          grad_out.data() + ((n * out_channels_ + co) * hh) * ww;
+      double bias_acc = 0.0;
+      for (std::size_t idx = 0; idx < hh * ww; ++idx) bias_acc += g_plane[idx];
+      gb[co] += static_cast<float>(bias_acc);
+
+      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* __restrict x_plane =
+            x.data() + ((n * in_channels_ + ci) * hh) * ww;
+        float* __restrict gi_plane =
+            grad_in.data() + ((n * in_channels_ + ci) * hh) * ww;
+        for (std::size_t i = 0; i < kh_; ++i) {
+          for (std::size_t j = 0; j < kw_; ++j) {
+            const std::size_t w_idx =
+                ((co * in_channels_ + ci) * kh_ + i) * kw_ + j;
+            const float wgt = wt[w_idx];
+            const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
+                                      static_cast<std::ptrdiff_t>(pad_h_);
+            const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
+                                      static_cast<std::ptrdiff_t>(pad_w_);
+            const std::size_t h_lo =
+                dh < 0 ? std::min(static_cast<std::size_t>(-dh), hh) : 0;
+            const std::size_t h_hi =
+                dh > 0 ? (hh > static_cast<std::size_t>(dh)
+                              ? hh - static_cast<std::size_t>(dh)
+                              : 0)
+                       : hh;
+            const std::size_t w_lo =
+                dw < 0 ? std::min(static_cast<std::size_t>(-dw), ww) : 0;
+            const std::size_t w_hi =
+                dw > 0 ? (ww > static_cast<std::size_t>(dw)
+                              ? ww - static_cast<std::size_t>(dw)
+                              : 0)
+                       : ww;
+            float wgrad_acc = 0.0f;
+            for (std::size_t h = h_lo; h < h_hi; ++h) {
+              const float* __restrict g_row = g_plane + h * ww;
+              const std::size_t h_in =
+                  static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
+              const float* __restrict x_shift = x_plane + h_in * ww + dw;
+              float* __restrict gi_shift = gi_plane + h_in * ww + dw;
+              float acc = 0.0f;
+              for (std::size_t w = w_lo; w < w_hi; ++w) {
+                acc += g_row[w] * x_shift[w];
+                gi_shift[w] += wgt * g_row[w];
+              }
+              wgrad_acc += acc;
+            }
+            gw[w_idx] += wgrad_acc;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,35 @@
+// 2-D convolution over NCHW tensors with 'same' zero padding and stride 1.
+//
+// The DeepCSI classifier convolves only along the sub-carrier axis
+// (kernels (1,7)/(1,5)/(1,3)), so the kernels here are general (kh, kw)
+// but the hot loops are laid out to vectorize over the contiguous W axis.
+#pragma once
+
+#include <random>
+
+#include "nn/layer.h"
+
+namespace deepcsi::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kh,
+         std::size_t kw, std::mt19937_64& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "conv2d"; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  std::size_t in_channels_, out_channels_, kh_, kw_;
+  std::size_t pad_h_, pad_w_;
+  Param weight_;  // [out, in, kh, kw]
+  Param bias_;    // [out]
+  Tensor cached_x_;
+};
+
+}  // namespace deepcsi::nn

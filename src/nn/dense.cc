@@ -1,0 +1,66 @@
+#include "nn/dense.h"
+
+#include "nn/init.h"
+
+namespace deepcsi::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             std::mt19937_64& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor({out_features, in_features})),
+      bias_(Tensor({out_features})) {
+  lecun_normal(weight_.value, in_features, rng);
+  bias_.value.zero();
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  DEEPCSI_CHECK(x.rank() == 2 && x.dim(1) == in_features_);
+  const std::size_t n_batch = x.dim(0);
+  cached_x_ = x;
+  Tensor out({n_batch, out_features_});
+  const float* __restrict wt = weight_.value.data();
+  const float* __restrict bs = bias_.value.data();
+  for (std::size_t n = 0; n < n_batch; ++n) {
+    const float* __restrict x_row = x.data() + n * in_features_;
+    float* __restrict o_row = out.data() + n * out_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float* __restrict w_row = wt + o * in_features_;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < in_features_; ++i) acc += w_row[i] * x_row[i];
+      o_row[o] = acc + bs[o];
+    }
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_x_;
+  DEEPCSI_CHECK(!x.empty());
+  DEEPCSI_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_features_ &&
+                grad_out.dim(0) == x.dim(0));
+  const std::size_t n_batch = x.dim(0);
+  Tensor grad_in({n_batch, in_features_});
+  const float* __restrict wt = weight_.value.data();
+  float* __restrict gw = weight_.grad.data();
+  float* __restrict gb = bias_.grad.data();
+  for (std::size_t n = 0; n < n_batch; ++n) {
+    const float* __restrict g_row = grad_out.data() + n * out_features_;
+    const float* __restrict x_row = x.data() + n * in_features_;
+    float* __restrict gi_row = grad_in.data() + n * in_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float g = g_row[o];
+      if (g == 0.0f) continue;
+      const float* __restrict w_row = wt + o * in_features_;
+      float* __restrict gw_row = gw + o * in_features_;
+      for (std::size_t i = 0; i < in_features_; ++i) {
+        gw_row[i] += g * x_row[i];
+        gi_row[i] += g * w_row[i];
+      }
+      gb[o] += g;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,27 @@
+// Fully-connected layer over [N, F] tensors.
+#pragma once
+
+#include <random>
+
+#include "nn/layer.h"
+
+namespace deepcsi::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features,
+        std::mt19937_64& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "dense"; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_x_;
+};
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,16 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deepcsi::nn {
+
+void lecun_normal(tensor::Tensor& t, std::size_t fan_in, std::mt19937_64& rng) {
+  DEEPCSI_CHECK(fan_in > 0);
+  std::normal_distribution<float> dist(
+      0.0f, 1.0f / std::sqrt(static_cast<float>(fan_in)));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = dist(rng);
+}
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,16 @@
+// Weight initialization. SELU networks require LeCun-normal initialization
+// (Klambauer et al., "Self-Normalizing Neural Networks") to keep
+// activations in the self-normalizing regime.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.h"
+
+namespace deepcsi::nn {
+
+// N(0, 1/fan_in) i.i.d. entries.
+void lecun_normal(tensor::Tensor& t, std::size_t fan_in, std::mt19937_64& rng);
+
+}  // namespace deepcsi::nn

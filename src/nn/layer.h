@@ -1,0 +1,50 @@
+// Layer interface for the from-scratch NN stack.
+//
+// Layers own their parameters (value + gradient accumulator) and cache
+// whatever forward state their backward pass needs. The training loop is
+// strictly: forward(batch, training=true) through all layers, loss head,
+// backward in reverse order, optimizer step on the collected Params.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace deepcsi::nn {
+
+using tensor::Tensor;
+
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(Tensor::zeros_like(value)) {}
+  std::size_t numel() const { return value.numel(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // `training` toggles dropout-style stochastic behavior.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  // grad w.r.t. this layer's output -> grad w.r.t. its input; parameter
+  // gradients are accumulated into params()[i]->grad.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+  virtual std::string name() const = 0;
+
+  std::size_t num_trainable() {
+    std::size_t n = 0;
+    for (Param* p : params()) n += p->numel();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace deepcsi::nn

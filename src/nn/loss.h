@@ -1,0 +1,26 @@
+// Softmax + cross-entropy loss head (combined for numerical stability).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace deepcsi::nn {
+
+using tensor::Tensor;
+
+struct LossResult {
+  double loss = 0.0;               // mean cross-entropy over the batch
+  Tensor grad_logits;              // d loss / d logits, [N, K]
+  Tensor probs;                    // softmax outputs, [N, K]
+  std::vector<int> predictions;    // argmax per row
+};
+
+// logits: [N, K]; labels: N entries in [0, K).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+// Inference-only softmax (no labels required).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace deepcsi::nn

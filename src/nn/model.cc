@@ -1,0 +1,35 @@
+#include "nn/model.h"
+
+namespace deepcsi::nn {
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, training);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+void Sequential::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+std::size_t Sequential::num_trainable() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->numel();
+  return n;
+}
+
+}  // namespace deepcsi::nn

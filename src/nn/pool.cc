@@ -1,0 +1,53 @@
+#include "nn/pool.h"
+
+namespace deepcsi::nn {
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+  DEEPCSI_CHECK(x.rank() == 4);
+  const std::size_t n_batch = x.dim(0), ch = x.dim(1), hh = x.dim(2),
+                    ww = x.dim(3);
+  const std::size_t oh = hh / kh_, ow = ww / kw_;
+  DEEPCSI_CHECK_MSG(oh >= 1 && ow >= 1, "pool kernel larger than input");
+  in_shape_ = x.shape();
+
+  Tensor out({n_batch, ch, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  std::size_t o_idx = 0;
+  for (std::size_t n = 0; n < n_batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      const std::size_t plane = (n * ch + c) * hh * ww;
+      for (std::size_t ho = 0; ho < oh; ++ho) {
+        for (std::size_t wo = 0; wo < ow; ++wo) {
+          float best = -3.4e38f;
+          std::size_t best_idx = 0;
+          for (std::size_t i = 0; i < kh_; ++i) {
+            for (std::size_t j = 0; j < kw_; ++j) {
+              const std::size_t idx =
+                  plane + (ho * kh_ + i) * ww + (wo * kw_ + j);
+              const float v = x[idx];
+              if (v > best) {
+                best = v;
+                best_idx = idx;
+              }
+            }
+          }
+          out[o_idx] = best;
+          argmax_[o_idx] = best_idx;
+          ++o_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  DEEPCSI_CHECK(!in_shape_.empty());
+  DEEPCSI_CHECK(grad_out.numel() == argmax_.size());
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < argmax_.size(); ++i)
+    grad_in[argmax_[i]] += grad_out[i];
+  return grad_in;
+}
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,25 @@
+// Max pooling over NCHW with stride = kernel and floor semantics (odd
+// tails are dropped), matching the (1, 2) pooling of the paper's network.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace deepcsi::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::size_t kh, std::size_t kw) : kh_(kh), kw_(kw) {
+    DEEPCSI_CHECK(kh >= 1 && kw >= 1);
+  }
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "max_pool2d"; }
+
+ private:
+  std::size_t kh_, kw_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace deepcsi::nn

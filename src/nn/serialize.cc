@@ -1,0 +1,83 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace deepcsi::nn {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'S', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f) != n)
+    throw std::runtime_error("weight file: short write");
+}
+
+void read_bytes(std::FILE* f, void* p, std::size_t n) {
+  if (std::fread(p, 1, n, f) != n)
+    throw std::runtime_error("weight file: truncated");
+}
+
+}  // namespace
+
+void save_weights(Sequential& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot write weights: " + path);
+  write_bytes(f.get(), kMagic, 4);
+  write_bytes(f.get(), &kVersion, 4);
+  const auto params = model.params();
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  write_bytes(f.get(), &count, 4);
+  for (Param* p : params) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(p->value.rank());
+    write_bytes(f.get(), &rank, 4);
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::uint64_t dim = p->value.dim(d);
+      write_bytes(f.get(), &dim, 8);
+    }
+    write_bytes(f.get(), p->value.data(), p->value.numel() * sizeof(float));
+  }
+}
+
+void load_weights(Sequential& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot read weights: " + path);
+  char magic[4];
+  read_bytes(f.get(), magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("not a DeepCSI weight file: " + path);
+  std::uint32_t version = 0;
+  read_bytes(f.get(), &version, 4);
+  if (version != kVersion)
+    throw std::runtime_error("unsupported weight file version");
+  std::uint32_t count = 0;
+  read_bytes(f.get(), &count, 4);
+  const auto params = model.params();
+  if (count != params.size())
+    throw std::runtime_error("weight file: parameter count mismatch");
+  for (Param* p : params) {
+    std::uint32_t rank = 0;
+    read_bytes(f.get(), &rank, 4);
+    if (rank != p->value.rank())
+      throw std::runtime_error("weight file: rank mismatch");
+    for (std::size_t d = 0; d < rank; ++d) {
+      std::uint64_t dim = 0;
+      read_bytes(f.get(), &dim, 8);
+      if (dim != p->value.dim(d))
+        throw std::runtime_error("weight file: shape mismatch");
+    }
+    read_bytes(f.get(), p->value.data(), p->value.numel() * sizeof(float));
+  }
+}
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,19 @@
+// Weight (de)serialization: deploy a trained fingerprint classifier to the
+// low-cost observer device (the paper runs inference on a laptop).
+// Format: "DCSW" magic, u32 version, u32 param count, then per parameter
+// u32 rank + u64 dims + raw float32 data. Little-endian host assumed.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace deepcsi::nn {
+
+void save_weights(Sequential& model, const std::string& path);
+
+// The model must already have the exact architecture the weights came
+// from; shape mismatches throw std::runtime_error.
+void load_weights(Sequential& model, const std::string& path);
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,96 @@
+#include "phy/geometry.h"
+
+#include <cmath>
+#include <random>
+
+namespace deepcsi::phy {
+
+Point operator+(const Point& a, const Point& b) {
+  return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+Point operator-(const Point& a, const Point& b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+Point operator*(const Point& a, double s) { return {a.x * s, a.y * s, a.z * s}; }
+
+double distance(const Point& a, const Point& b) {
+  const Point d = a - b;
+  return std::sqrt(d.x * d.x + d.y * d.y + d.z * d.z);
+}
+
+namespace {
+
+Environment make_environment(int environment_id) {
+  DEEPCSI_CHECK_MSG(environment_id == 0 || environment_id == 1,
+                    "two environments were measured");
+  Environment env;
+  if (environment_id == 0) {
+    env.room = Room{7.0, 6.0, 3.0, 0.65, 0.45};
+  } else {
+    env.room = Room{6.2, 6.8, 2.9, 0.68, 0.42};
+  }
+  // Deterministic clutter per environment (cabinets, radiators, ...).
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ULL + static_cast<unsigned>(environment_id));
+  std::uniform_real_distribution<double> ux(0.4, env.room.width - 0.4);
+  std::uniform_real_distribution<double> uy(0.4, env.room.depth - 0.4);
+  std::uniform_real_distribution<double> uz(0.3, 2.2);
+  std::uniform_real_distribution<double> ur(0.25, 0.55);
+  const int n_clutter = environment_id == 0 ? 6 : 8;
+  for (int i = 0; i < n_clutter; ++i) {
+    env.clutter.push_back({{ux(rng), uy(rng), uz(rng)}, ur(rng)});
+  }
+  return env;
+}
+
+}  // namespace
+
+Scene::Scene(int environment_id)
+    : environment_id_(environment_id), env_(make_environment(environment_id)) {}
+
+Point Scene::ap_position_a() const {
+  // Centered in x, 1.0 m from the near wall; slight offset in env 1.
+  const double cx = env_.room.width / 2.0;
+  return {cx + (environment_id_ == 0 ? 0.0 : 0.15), 1.0, kAntennaHeightMeters};
+}
+
+Point Scene::beamformee_position(int beamformee, int position) const {
+  DEEPCSI_CHECK(beamformee == 0 || beamformee == 1);
+  DEEPCSI_CHECK_MSG(position >= 1 && position <= kNumBeamformeePositions,
+                    "positions are labeled 1..9 per Fig. 6");
+  const Point a = ap_position_a();
+  // Beamformee row 2.6 m in front of the AP; initial placements straddle
+  // the AP axis by 0.75 m each (1.5 m separation), then step outward.
+  const double dir = beamformee == 0 ? -1.0 : 1.0;
+  const double x =
+      a.x + dir * (0.75 + kPositionStepMeters * (position - 1));
+  return {x, a.y + 2.6, kAntennaHeightMeters};
+}
+
+Point Scene::mobility_path(double t) const {
+  DEEPCSI_CHECK(t >= 0.0 && t <= 1.0);
+  const Point a = ap_position_a();
+  const Point b = a + Point{0.0, 0.8, 0.0};
+  const Point c = b + Point{-0.8, 0.0, 0.0};
+  const Point d = b + Point{0.8, 0.0, 0.0};
+  // Segments A-B, B-C, C-D, D-B, B-A with lengths 0.8/0.8/1.6/0.8/0.8.
+  struct Leg {
+    Point from, to;
+    double len;
+  };
+  const Leg legs[] = {
+      {a, b, 0.8}, {b, c, 0.8}, {c, d, 1.6}, {d, b, 0.8}, {b, a, 0.8}};
+  const double total = mobility_path_length();
+  double s = t * total;
+  for (const Leg& leg : legs) {
+    if (s <= leg.len || &leg == &legs[4]) {
+      const double f = std::min(1.0, s / leg.len);
+      return leg.from + (leg.to - leg.from) * f;
+    }
+    s -= leg.len;
+  }
+  return a;
+}
+
+double Scene::mobility_path_length() const { return 4.8; }
+
+}  // namespace deepcsi::phy

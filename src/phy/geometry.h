@@ -1,0 +1,80 @@
+// Scene geometry reproducing the measurement layout of the paper (Fig. 6).
+//
+// Two indoor environments host a MU-MIMO network: one AP (beamformer) and
+// two stations (beamformees). For dataset D1 the AP sits at position A and
+// the beamformees step sideways in 10 cm increments through positions
+// 1..9. For dataset D2 the beamformees are pinned at position 3 while the
+// AP traverses the path A-B-C-D-B-A (0.8 m forward, 0.8 m left, 1.6 m
+// right, and back).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace deepcsi::phy {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+Point operator+(const Point& a, const Point& b);
+Point operator-(const Point& a, const Point& b);
+Point operator*(const Point& a, double s);
+double distance(const Point& a, const Point& b);
+
+struct Scatterer {
+  Point position;
+  double reflectivity = 0.3;  // amplitude gain of the bounced path
+};
+
+// Rectangular room: walls at x=0, x=width, y=0, y=depth; floor z=0,
+// ceiling z=height. First-order images off each surface are traced.
+struct Room {
+  double width = 7.0;
+  double depth = 6.0;
+  double height = 3.0;
+  double wall_reflectivity = 0.45;
+  double floor_reflectivity = 0.30;
+};
+
+struct Environment {
+  Room room;
+  std::vector<Scatterer> clutter;  // static furniture/metal surfaces
+};
+
+inline constexpr int kNumBeamformeePositions = 9;  // Fig. 6, stars 1..9
+inline constexpr double kPositionStepMeters = 0.1;
+inline constexpr double kAntennaHeightMeters = 1.2;
+
+class Scene {
+ public:
+  // environment_id in {0, 1}: the two rooms of the measurement campaign.
+  // Both reproduce the Fig. 6 configuration with different clutter.
+  explicit Scene(int environment_id);
+
+  const Environment& environment() const { return env_; }
+
+  // AP position A (Fig. 6 yellow star).
+  Point ap_position_a() const;
+
+  // Beamformee positions; position in {1..9}, beamformee in {0, 1}.
+  // Both start facing the AP and step outward (BF0 left, BF1 right).
+  Point beamformee_position(int beamformee, int position) const;
+
+  // AP location along the mobility path A-B-C-D-B-A at path fraction
+  // t in [0, 1]. Piecewise-linear, constant speed over the 4.8 m course.
+  Point mobility_path(double t) const;
+
+  // Total mobility path length (meters).
+  double mobility_path_length() const;
+
+ private:
+  int environment_id_;
+  Environment env_;
+};
+
+}  // namespace deepcsi::phy

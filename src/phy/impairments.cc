@@ -1,0 +1,116 @@
+#include "phy/impairments.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "common/check.h"
+
+namespace deepcsi::phy {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Stable per-entity seeding: decorrelates module ids without relying on
+// std::seed_seq quality.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+ChainImpairment draw_chain(std::mt19937_64& rng, double ripple_max,
+                           double gain_spread_db, double iq_beta_max) {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_real_distribution<double> uphase(-std::numbers::pi,
+                                                std::numbers::pi);
+  ChainImpairment c;
+  c.gain = std::pow(10.0, (u01(rng) - 0.5) * gain_spread_db / 20.0);
+  c.static_phase = uphase(rng);
+  const int taps = 2 + static_cast<int>(u01(rng) * 2.0);  // 2..3 taps
+  for (int t = 0; t < taps; ++t) {
+    RippleTap tap;
+    tap.amplitude = ripple_max * (0.3 + 0.7 * u01(rng));
+    tap.delay_s = 5e-9 + 55e-9 * u01(rng);
+    tap.phase = uphase(rng);
+    c.ripple.push_back(tap);
+  }
+  c.iq_beta = std::polar(iq_beta_max * (0.3 + 0.7 * u01(rng)), uphase(rng));
+  return c;
+}
+
+}  // namespace
+
+cplx ChainImpairment::response(int k) const {
+  const double f = subcarrier_offset_hz(k);
+  cplx r{1.0, 0.0};
+  for (const RippleTap& tap : ripple) {
+    r += std::polar(tap.amplitude, tap.phase - kTwoPi * f * tap.delay_s);
+  }
+  return r * std::polar(gain, static_phase);
+}
+
+ModuleProfile make_module_profile(int module_id, int num_chains) {
+  return make_module_profile(module_id, num_chains, ImpairmentToggles{});
+}
+
+ModuleProfile make_module_profile(int module_id, int num_chains,
+                                  const ImpairmentToggles& toggles) {
+  DEEPCSI_CHECK_MSG(module_id >= 0 && module_id < kNumModules,
+                    "module_id outside the 10-module testbed");
+  DEEPCSI_CHECK(num_chains >= 1 && num_chains <= 4);
+  std::mt19937_64 rng(mix(0xC0FFEEULL, static_cast<std::uint64_t>(module_id)));
+  ModuleProfile p;
+  p.module_id = module_id;
+  for (int m = 0; m < num_chains; ++m) {
+    // TX chains: ~3-5% filter ripple, +-0.5 dB gain spread, IRR ~36-46 dB.
+    p.chains.push_back(draw_chain(rng, /*ripple_max=*/0.025,
+                                  /*gain_spread_db=*/0.6,
+                                  /*iq_beta_max=*/0.01));
+  }
+  std::uniform_real_distribution<double> ucfo(-2000.0, 2000.0);  // residual Hz
+  std::uniform_real_distribution<double> usfo(-5.0, 5.0);
+  p.cfo_bias_hz = ucfo(rng);
+  p.sfo_ppm = usfo(rng);
+
+  // Apply ablations after the draw so disabling one component does not
+  // reshuffle the randomness of the others.
+  for (ChainImpairment& c : p.chains) {
+    if (!toggles.ripple) c.ripple.clear();
+    if (!toggles.gain_mismatch) c.gain = 1.0;
+    if (!toggles.static_phase) c.static_phase = 0.0;
+    if (!toggles.iq_imbalance) c.iq_beta = cplx{0.0, 0.0};
+  }
+  if (!toggles.cfo) p.cfo_bias_hz = 0.0;
+  if (!toggles.sfo) p.sfo_ppm = 0.0;
+  return p;
+}
+
+BeamformeeProfile make_beamformee_profile(int station_id, int num_chains) {
+  DEEPCSI_CHECK(station_id >= 0);
+  DEEPCSI_CHECK(num_chains >= 1 && num_chains <= 4);
+  std::mt19937_64 rng(mix(0xBEEFULL, static_cast<std::uint64_t>(station_id)));
+  BeamformeeProfile p;
+  p.station_id = station_id;
+  for (int n = 0; n < num_chains; ++n) {
+    // RX front-ends are a different design (Netgear X4S): wider spread.
+    p.chains.push_back(draw_chain(rng, /*ripple_max=*/0.08,
+                                  /*gain_spread_db=*/2.0,
+                                  /*iq_beta_max=*/0.02));
+  }
+  std::uniform_real_distribution<double> unf(0.0, 2.0);
+  p.noise_figure_db = unf(rng);
+  return p;
+}
+
+int ltf_sign_product(int k) {
+  const std::uint64_t h = mix(0x17F5EEDULL, static_cast<std::uint64_t>(
+                                                 k < 0 ? -k : k));
+  return (h & 1) ? 1 : -1;
+}
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,85 @@
+#include "phy/ofdm.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+
+namespace deepcsi::phy {
+namespace {
+
+constexpr std::array<int, 8> kPilots80{-103, -75, -39, -11, 11, 39, 75, 103};
+
+bool is_pilot80(int k) {
+  return std::find(kPilots80.begin(), kPilots80.end(), k) != kPilots80.end();
+}
+
+std::vector<int> build_vht80() {
+  std::vector<int> out;
+  out.reserve(234);
+  for (int k = -122; k <= 122; ++k) {
+    if (k >= -1 && k <= 1) continue;  // DC region
+    if (is_pilot80(k)) continue;
+    out.push_back(k);
+  }
+  DEEPCSI_CHECK(out.size() == 234);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<int>& vht80_sounded_subcarriers() {
+  static const std::vector<int> table = build_vht80();
+  return table;
+}
+
+std::vector<int> vht80_subband(Band band) {
+  const std::vector<int>& all = vht80_sounded_subcarriers();
+  switch (band) {
+    case Band::k80MHz:
+      return all;
+    case Band::k40MHz: {
+      // Channel 38 center sits at index -64 of the 80 MHz grid; its native
+      // occupied set is -58..+58 around that center minus the DC trio.
+      std::vector<int> out;
+      for (int k : all) {
+        const int rel = k + 64;
+        if (rel < -58 || rel > 58) continue;
+        if (rel >= -1 && rel <= 1) continue;  // channel 38 DC trio
+        out.push_back(k);
+      }
+      DEEPCSI_CHECK(out.size() == 110);
+      return out;
+    }
+    case Band::k20MHz: {
+      // Lowest 20 MHz quarter of the 80 MHz channel (channel 36),
+      // minus channel 36's DC trio at indices {-97, -96, -95}.
+      std::vector<int> out;
+      for (int k : all) {
+        if (k > -64) continue;
+        if (k >= -97 && k <= -95) continue;
+        out.push_back(k);
+      }
+      DEEPCSI_CHECK(out.size() == 54);
+      return out;
+    }
+  }
+  DEEPCSI_CHECK_MSG(false, "unknown band");
+  return {};
+}
+
+std::vector<std::size_t> subband_positions(Band band) {
+  const std::vector<int>& all = vht80_sounded_subcarriers();
+  const std::vector<int> sel = vht80_subband(band);
+  std::vector<std::size_t> pos;
+  pos.reserve(sel.size());
+  std::size_t cursor = 0;
+  for (int k : sel) {
+    while (cursor < all.size() && all[cursor] != k) ++cursor;
+    DEEPCSI_CHECK_MSG(cursor < all.size(), "sub-band index not in 80MHz grid");
+    pos.push_back(cursor);
+  }
+  return pos;
+}
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,51 @@
+// IEEE 802.11ac (VHT) OFDM sub-carrier layouts.
+//
+// The experiments run on channel 42 (fc = 5.21 GHz, 80 MHz). The sounding
+// procedure reports feedback for the K = 234 data sub-carriers: out of the
+// 256-point FFT grid, 14 control sub-carriers (6 + 5 edge guards and the
+// 3 around DC) and 8 pilots (+-11, +-39, +-75, +-103) are excluded.
+//
+// The paper additionally evaluates narrower spectrum slices extracted from
+// the 80 MHz grid: 110 sub-carriers lying in the 40 MHz channel 38 and 54
+// sub-carriers in the 20 MHz channel 36 (Fig. 12a). Those selections are
+// reproduced here exactly (see vht80_subband()).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deepcsi::phy {
+
+inline constexpr double kCarrierFrequencyHz = 5.21e9;  // channel 42
+inline constexpr double kSubcarrierSpacingHz = 312.5e3;
+inline constexpr double kLtfSlotSeconds = 4e-6;  // one VHT-LTF per TX antenna
+
+enum class Band {
+  k80MHz,  // full channel 42 grid: 234 sub-carriers
+  k40MHz,  // channel 38 slice:     110 sub-carriers
+  k20MHz,  // channel 36 slice:      54 sub-carriers
+};
+
+// Sounded (data) sub-carrier indices of the VHT 80 MHz grid, ascending:
+// -122..122 excluding {0, +-1} and the pilots. Size 234.
+const std::vector<int>& vht80_sounded_subcarriers();
+
+// Indices (into the *80 MHz grid*) of the paper's sub-band selections.
+//
+//  - Band::k40MHz: the sub-carriers covered by channel 38's native occupied
+//    set (+-58 around its center at index -64) minus channel 38's DC trio;
+//    exactly 110 remain.
+//  - Band::k20MHz: the sub-carriers of the lowest 20 MHz quarter
+//    (index <= -64) minus channel 36's DC trio {-95,-96,-97}; exactly 54.
+//
+// Band::k80MHz returns all 234.
+std::vector<int> vht80_subband(Band band);
+
+// Position (0-based, within the ascending 234-list) of each sub-band
+// member; used to slice stored feedback without re-deriving indices.
+std::vector<std::size_t> subband_positions(Band band);
+
+// Baseband frequency offset of sub-carrier k.
+inline double subcarrier_offset_hz(int k) { return k * kSubcarrierSpacingHz; }
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,111 @@
+#include "phy/precoding.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/solve.h"
+
+namespace deepcsi::phy {
+
+using linalg::cplx;
+
+CMat zero_forcing_precoder(const std::vector<UserChannel>& users,
+                           const std::vector<CMat>& v_per_user) {
+  DEEPCSI_CHECK(!users.empty());
+  DEEPCSI_CHECK(users.size() == v_per_user.size());
+  const std::size_t m = users.front().h.rows();
+
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    DEEPCSI_CHECK(users[u].h.rows() == m);
+    DEEPCSI_CHECK(v_per_user[u].rows() == m);
+    DEEPCSI_CHECK(static_cast<std::size_t>(users[u].nss) ==
+                  v_per_user[u].cols());
+    DEEPCSI_CHECK(static_cast<std::size_t>(users[u].nss) <=
+                  users[u].h.cols());
+    total += static_cast<std::size_t>(users[u].nss);
+  }
+  DEEPCSI_CHECK_MSG(total <= m, "cannot serve more streams than TX antennas");
+
+  // Per-stream row a_s = v_s^dagger: the reported beam direction for that
+  // stream in TX-antenna space. Zero-forcing solves A W = I over all
+  // reported directions, so each stream's beam is orthogonal to every
+  // other stream's direction (no ISI/IUI under perfect feedback).
+  CMat a(total, m);
+  std::size_t row = 0;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const CMat vh = v_per_user[u].hermitian();  // nss x M
+    for (std::size_t s = 0; s < static_cast<std::size_t>(users[u].nss); ++s) {
+      for (std::size_t c = 0; c < m; ++c) a(row, c) = vh(s, c);
+      ++row;
+    }
+  }
+
+  // W = A^dagger (A A^dagger)^{-1}, then unit-power columns.
+  const CMat gram = a * a.hermitian();
+  const CMat w = a.hermitian() * linalg::inverse(gram);
+  CMat out = w;
+  for (std::size_t c = 0; c < out.cols(); ++c) {
+    double nrm = 0.0;
+    for (std::size_t r = 0; r < out.rows(); ++r) nrm += std::norm(out(r, c));
+    nrm = std::sqrt(nrm);
+    DEEPCSI_CHECK_MSG(nrm > 1e-12, "degenerate precoder column");
+    out.scale_col(c, cplx{1.0 / nrm, 0.0});
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> mu_mimo_sinr(
+    const std::vector<UserChannel>& users, const CMat& w,
+    double noise_power) {
+  DEEPCSI_CHECK(noise_power > 0.0);
+  std::size_t total = 0;
+  for (const UserChannel& u : users) total += static_cast<std::size_t>(u.nss);
+  DEEPCSI_CHECK(w.cols() == total);
+
+  std::vector<std::vector<double>> out;
+  std::size_t stream_base = 0;
+  for (const UserChannel& user : users) {
+    const CMat g = user.h.transpose() * w;  // N_u x total_streams
+    const std::size_t n_rx = g.rows();
+    std::vector<double> sinr_u;
+    for (std::size_t s = 0; s < static_cast<std::size_t>(user.nss); ++s) {
+      const std::size_t j = stream_base + s;
+      // Interference-plus-noise covariance R = sum_{i != j} g_i g_i^dagger
+      // + noise I, then MMSE SINR = g_j^dagger R^{-1} g_j.
+      CMat r(n_rx, n_rx);
+      for (std::size_t i = 0; i < total; ++i) {
+        if (i == j) continue;
+        for (std::size_t p = 0; p < n_rx; ++p)
+          for (std::size_t q = 0; q < n_rx; ++q)
+            r(p, q) += g(p, i) * std::conj(g(q, i));
+      }
+      for (std::size_t p = 0; p < n_rx; ++p) r(p, p) += noise_power;
+
+      CMat gj(n_rx, 1);
+      for (std::size_t p = 0; p < n_rx; ++p) gj(p, 0) = g(p, j);
+      const CMat rinv_g = linalg::solve(r, gj);
+      cplx acc{0.0, 0.0};
+      for (std::size_t p = 0; p < n_rx; ++p)
+        acc += std::conj(gj(p, 0)) * rinv_g(p, 0);
+      sinr_u.push_back(acc.real());
+    }
+    out.push_back(std::move(sinr_u));
+    stream_base += static_cast<std::size_t>(user.nss);
+  }
+  return out;
+}
+
+double mean_sinr_db(const std::vector<std::vector<double>>& sinr) {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& u : sinr)
+    for (double v : u) {
+      s += 10.0 * std::log10(std::max(v, 1e-12));
+      ++n;
+    }
+  DEEPCSI_CHECK(n > 0);
+  return s / static_cast<double>(n);
+}
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,56 @@
+// DL MU-MIMO pre-coding (Sec. II-A / III-A background).
+//
+// The beamformer combines the per-beamformee feedback matrices into a
+// steering matrix W. With perfect CSI a zero-forcing precoder nulls both
+// inter-stream (ISI) and inter-user (IUI) interference; with quantized
+// feedback the nulls are imperfect and residual interference appears —
+// exactly the effect that makes *data* transmissions hard to fingerprint
+// and the (unprecoded) NDP sounding attractive (the paper's core design
+// argument).
+//
+// This module exists to quantify that argument: the tests and the
+// ablation bench compare per-stream SINR under perfect vs. quantized
+// feedback, and verify that the NDP path is precoder-independent.
+#pragma once
+
+#include <vector>
+
+#include "linalg/cmat.h"
+
+namespace deepcsi::phy {
+
+using linalg::CMat;
+
+// Effective channels for one sub-carrier: per beamformee u, an
+// (M x N_u) matrix H_u (TX antennas x RX antennas) and the number of
+// spatial streams to serve it.
+struct UserChannel {
+  CMat h;   // M x N_u
+  int nss;  // streams for this user (<= N_u)
+};
+
+// Zero-forcing MU-MIMO precoder from (possibly quantized) per-user
+// beamforming matrices: stacks the users' effective channels
+// (V_u^dagger H_u^T) and returns the M x total_streams steering matrix
+// W = A^dagger (A A^dagger)^{-1}, column-normalized to unit power.
+//
+// v_per_user[u] is the M x nss_u beamforming matrix fed back by user u
+// (exact V or reconstructed Vtilde — the caller chooses).
+CMat zero_forcing_precoder(const std::vector<UserChannel>& users,
+                           const std::vector<CMat>& v_per_user);
+
+// Per-stream SINR (linear) at each beamformee for a given precoder,
+// assuming per-stream unit transmit power and the given noise power.
+// Returns one vector per user with nss_u entries.
+//
+// Stream s of user u is received through H_u^T W; the intended column is
+// signal, all other columns of W are ISI (same user) or IUI (other
+// users). The receiver applies the MMSE-optimal linear combiner.
+std::vector<std::vector<double>> mu_mimo_sinr(
+    const std::vector<UserChannel>& users, const CMat& w,
+    double noise_power);
+
+// Convenience: mean SINR (dB) over all streams of all users.
+double mean_sinr_db(const std::vector<std::vector<double>>& sinr);
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,136 @@
+#include "phy/sounding.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace deepcsi::phy {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kOfdmSymbolSeconds = 1.0 / kSubcarrierSpacingHz;  // T = 3.2us
+
+}  // namespace
+
+TraceContext make_trace_context(const ModuleProfile& tx,
+                                std::uint64_t trace_seed) {
+  std::mt19937_64 rng(trace_seed ^ 0xD1CEULL);
+  TraceContext ctx;
+  std::normal_distribution<double> drift(0.0, 6.0 * std::numbers::pi / 180.0);
+  for (int m = 0; m < tx.num_chains(); ++m)
+    ctx.chain_phase_drift.push_back(drift(rng));
+  std::normal_distribution<double> cfo(0.0, 250.0);
+  ctx.cfo_trace_offset_hz = cfo(rng);
+  return ctx;
+}
+
+Cfr estimate_cfr(const ModuleProfile& tx, const TraceContext& trace,
+                 const BeamformeeProfile& rx, const Cfr& truth, int n_tx,
+                 int n_rx, const SoundingNoise& noise,
+                 std::mt19937_64& packet_rng) {
+  DEEPCSI_CHECK(n_tx >= 1 && n_tx <= tx.num_chains());
+  DEEPCSI_CHECK(n_rx >= 1 && n_rx <= rx.num_chains());
+  DEEPCSI_CHECK(!truth.h.empty());
+  DEEPCSI_CHECK(truth.h.front().rows() >= static_cast<std::size_t>(n_tx));
+  DEEPCSI_CHECK(truth.h.front().cols() >= static_cast<std::size_t>(n_rx));
+  DEEPCSI_CHECK(trace.chain_phase_drift.size() >=
+                static_cast<std::size_t>(n_tx));
+
+  const std::size_t num_k = truth.num_subcarriers();
+
+  // Per-packet nuisance draws (Eq. 9).
+  std::uniform_real_distribution<double> uphase(-std::numbers::pi,
+                                                std::numbers::pi);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const double theta_ppo = uphase(packet_rng);
+  const double tau_pdd = noise.pdd_max_s * u01(packet_rng);
+  const double tau_sfo = tx.sfo_ppm * 1e-6 * kOfdmSymbolSeconds * 20.0;
+  const double delta_f = tx.cfo_bias_hz + trace.cfo_trace_offset_hz +
+                         noise.cfo_jitter_hz * gauss(packet_rng);
+  // Phase ambiguity: pi-multiple common flip (PA term of Eq. 9).
+  const double theta_pa =
+      (packet_rng() & 1) ? std::numbers::pi : 0.0;
+
+  // Stage 1: per-chain responses and per-chain offsets (the fingerprint),
+  // TX IQ image folded in via the LTF sign product.
+  Cfr est;
+  est.subcarriers = truth.subcarriers;
+  est.h.assign(num_k, CMat(n_tx, n_rx));
+
+  std::vector<cplx> tx_resp(static_cast<std::size_t>(n_tx));
+  std::vector<cplx> rx_resp(static_cast<std::size_t>(n_rx));
+  for (std::size_t ki = 0; ki < num_k; ++ki) {
+    const int k = truth.subcarriers[ki];
+    for (int m = 0; m < n_tx; ++m) {
+      const ChainImpairment& chain = tx.chains[static_cast<std::size_t>(m)];
+      // VHT-LTF slot phase ramp: chain m sounded at t = m * 4 us.
+      const double slot_phase = kTwoPi * delta_f * kLtfSlotSeconds * m;
+      const cplx iq_factor =
+          cplx{1.0, 0.0} +
+          chain.iq_beta * static_cast<double>(ltf_sign_product(k));
+      tx_resp[static_cast<std::size_t>(m)] =
+          chain.response(k) * iq_factor *
+          std::polar(1.0,
+                     slot_phase +
+                         trace.chain_phase_drift[static_cast<std::size_t>(m)]);
+    }
+    for (int n = 0; n < n_rx; ++n)
+      rx_resp[static_cast<std::size_t>(n)] =
+          rx.chains[static_cast<std::size_t>(n)].response(k);
+
+    // Common (chain-independent) offsets of Eq. (9):
+    //   theta_CFO + theta_PPO + theta_PA - 2 pi k (tau_SFO + tau_PDD) / T.
+    const double theta_common =
+        kTwoPi * delta_f * 8.0e-6 + theta_ppo + theta_pa -
+        kTwoPi * k * (tau_sfo + tau_pdd) / kOfdmSymbolSeconds;
+    const cplx common = std::polar(1.0, theta_common);
+
+    for (int m = 0; m < n_tx; ++m)
+      for (int n = 0; n < n_rx; ++n)
+        est.h[ki](m, n) = truth.h[ki](m, n) *
+                          tx_resp[static_cast<std::size_t>(m)] *
+                          rx_resp[static_cast<std::size_t>(n)] * common;
+  }
+
+  // Stage 2: RX IQ imbalance mixes mirror sub-carriers:
+  //   y'(k) = y(k) + beta_n * conj(y(-k)).
+  std::unordered_map<int, std::size_t> index_of;
+  index_of.reserve(num_k);
+  for (std::size_t ki = 0; ki < num_k; ++ki) index_of[est.subcarriers[ki]] = ki;
+  std::vector<CMat> mixed = est.h;
+  for (std::size_t ki = 0; ki < num_k; ++ki) {
+    const auto it = index_of.find(-est.subcarriers[ki]);
+    if (it == index_of.end()) continue;
+    const CMat& img = est.h[it->second];
+    for (int m = 0; m < n_tx; ++m)
+      for (int n = 0; n < n_rx; ++n)
+        mixed[ki](m, n) +=
+            rx.chains[static_cast<std::size_t>(n)].iq_beta *
+            std::conj(img(m, n));
+  }
+  est.h = std::move(mixed);
+
+  // Stage 3: AWGN estimation noise at the configured SNR (reduced by the
+  // station's noise figure). Noise power is set relative to the mean
+  // per-entry channel power of this sounding.
+  const double snr_db = noise.snr_db - rx.noise_figure_db;
+  double mean_pow = 0.0;
+  for (const CMat& h : est.h) {
+    for (const auto& v : h.data()) mean_pow += std::norm(v);
+  }
+  mean_pow /= static_cast<double>(num_k * n_tx * n_rx);
+  const double noise_std =
+      std::sqrt(mean_pow * std::pow(10.0, -snr_db / 10.0) / 2.0);
+  for (CMat& h : est.h)
+    for (int m = 0; m < n_tx; ++m)
+      for (int n = 0; n < n_rx; ++n)
+        h(m, n) += cplx{noise_std * gauss(packet_rng),
+                        noise_std * gauss(packet_rng)};
+
+  return est;
+}
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,48 @@
+// NDP channel sounding: what the beamformee estimates.
+//
+// The beamformer transmits a (non-beamformed) NDP whose VHT-LTFs sound one
+// TX antenna per 4 us slot; the beamformee estimates Hhat per Eq. (10):
+//
+//   Hhat_{k,m,n} = H_{k,m,n} * e^{j theta_offs,k,m,n}
+//
+// with the offsets of Eq. (9) (CFO, SFO, PDD, PPO, PA) plus the per-chain
+// hardware responses of both devices and AWGN estimation noise. Per-packet
+// nuisance parameters are drawn fresh on every sounding; per-trace state
+// (chain phase drift across power cycles, CFO trace offset) is held in a
+// TraceContext.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "phy/channel.h"
+#include "phy/impairments.h"
+
+namespace deepcsi::phy {
+
+struct TraceContext {
+  // Per-TX-chain phase drift for this trace (radians): chain phase offsets
+  // are stable within a power cycle but drift a little across traces.
+  std::vector<double> chain_phase_drift;
+  double cfo_trace_offset_hz = 0.0;
+};
+
+TraceContext make_trace_context(const ModuleProfile& tx,
+                                std::uint64_t trace_seed);
+
+struct SoundingNoise {
+  double snr_db = 30.0;          // link SNR at the channel estimator
+  double cfo_jitter_hz = 300.0;  // per-packet residual CFO spread
+  double pdd_max_s = 100e-9;     // packet detection delay upper bound
+};
+
+// One sounding: returns Hhat (same sub-carrier grid as `truth`).
+// `truth` must contain at least tx.num_chains() rows and rx.num_chains()
+// columns; n_tx/n_rx select how many chains take part.
+Cfr estimate_cfr(const ModuleProfile& tx, const TraceContext& trace,
+                 const BeamformeeProfile& rx, const Cfr& truth, int n_tx,
+                 int n_rx, const SoundingNoise& noise,
+                 std::mt19937_64& packet_rng);
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,99 @@
+#include "phy/tgac.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace deepcsi::phy {
+
+using linalg::cplx;
+
+double tgac_rms_delay_spread_s(TgacProfile profile) {
+  switch (profile) {
+    case TgacProfile::kModelB: return 15e-9;
+    case TgacProfile::kModelD: return 50e-9;
+  }
+  DEEPCSI_CHECK_MSG(false, "unknown TGac profile");
+  return 0.0;
+}
+
+TgacChannel::TgacChannel(TgacParams params) : params_(params) {
+  DEEPCSI_CHECK(params_.num_taps >= 1);
+  DEEPCSI_CHECK(params_.tap_spacing_s > 0.0);
+  DEEPCSI_CHECK(params_.k_factor >= 0.0);
+  // Exponential PDP matched to the profile's rms delay spread.
+  const double sigma = tgac_rms_delay_spread_s(params_.profile);
+  tap_powers_.resize(static_cast<std::size_t>(params_.num_taps));
+  double sum = 0.0;
+  for (int t = 0; t < params_.num_taps; ++t) {
+    const double tau = t * params_.tap_spacing_s;
+    tap_powers_[static_cast<std::size_t>(t)] = std::exp(-tau / sigma);
+    sum += tap_powers_[static_cast<std::size_t>(t)];
+  }
+  for (double& p : tap_powers_) p /= sum;
+}
+
+Cfr TgacChannel::realize(int n_tx, int n_rx,
+                         const std::vector<int>& subcarriers,
+                         std::mt19937_64& rng) const {
+  DEEPCSI_CHECK(n_tx >= 1 && n_rx >= 1);
+  DEEPCSI_CHECK(!subcarriers.empty());
+  std::normal_distribution<double> gauss(0.0, std::sqrt(0.5));
+  std::uniform_real_distribution<double> uphase(-std::numbers::pi,
+                                                std::numbers::pi);
+
+  // Per-tap MIMO coefficients: tap 0 carries a Ricean LoS component with
+  // a rank-one steering structure; the rest are i.i.d. Rayleigh.
+  const int taps = params_.num_taps;
+  std::vector<CMat> tap_h;
+  tap_h.reserve(static_cast<std::size_t>(taps));
+  for (int t = 0; t < taps; ++t) {
+    CMat h(static_cast<std::size_t>(n_tx), static_cast<std::size_t>(n_rx));
+    const double p = tap_powers_[static_cast<std::size_t>(t)];
+    if (t == 0 && params_.k_factor > 0.0) {
+      const double k = params_.k_factor;
+      const double los_amp = std::sqrt(p * k / (k + 1.0));
+      const double nlos_amp = std::sqrt(p / (k + 1.0));
+      // LoS: outer product of TX/RX steering phases at a random AoD/AoA.
+      const double aod = uphase(rng), aoa = uphase(rng);
+      for (int m = 0; m < n_tx; ++m)
+        for (int n = 0; n < n_rx; ++n)
+          h(static_cast<std::size_t>(m), static_cast<std::size_t>(n)) =
+              std::polar(los_amp,
+                         std::numbers::pi * (m * std::sin(aod) +
+                                             n * std::sin(aoa))) +
+              nlos_amp * cplx{gauss(rng), gauss(rng)};
+    } else {
+      const double amp = std::sqrt(p);
+      for (int m = 0; m < n_tx; ++m)
+        for (int n = 0; n < n_rx; ++n)
+          h(static_cast<std::size_t>(m), static_cast<std::size_t>(n)) =
+              amp * cplx{gauss(rng), gauss(rng)};
+    }
+    tap_h.push_back(std::move(h));
+  }
+
+  // DFT across taps: H(k) = sum_t h_t * exp(-j 2 pi f_k tau_t).
+  Cfr out;
+  out.subcarriers = subcarriers;
+  out.h.assign(subcarriers.size(),
+               CMat(static_cast<std::size_t>(n_tx),
+                    static_cast<std::size_t>(n_rx)));
+  for (std::size_t ki = 0; ki < subcarriers.size(); ++ki) {
+    const double f = subcarrier_offset_hz(subcarriers[ki]);
+    for (int t = 0; t < taps; ++t) {
+      const cplx rot = std::polar(
+          1.0, -2.0 * std::numbers::pi * f * t * params_.tap_spacing_s);
+      for (int m = 0; m < n_tx; ++m)
+        for (int n = 0; n < n_rx; ++n)
+          out.h[ki](static_cast<std::size_t>(m), static_cast<std::size_t>(n)) +=
+              tap_h[static_cast<std::size_t>(t)](
+                  static_cast<std::size_t>(m), static_cast<std::size_t>(n)) *
+              rot;
+    }
+  }
+  return out;
+}
+
+}  // namespace deepcsi::phy

@@ -1,0 +1,53 @@
+// TGac stochastic channel model (IEEE 802.11-09/0308r12 addendum style):
+// a tapped-delay-line with exponentially decaying power delay profile and
+// i.i.d. Rayleigh MIMO taps, the model the paper uses for its Fig. 13
+// quantization study ("simulating an OFDM MU-MIMO channel, considering
+// the ray tracing model of [35]").
+//
+// This is an alternative substrate to the deterministic ray-traced
+// ChannelModel: statistically specified rather than geometric, so it
+// provides an independent check that the quantization-error results do
+// not depend on the room geometry.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "phy/channel.h"
+
+namespace deepcsi::phy {
+
+// Model selection follows the TGac profile naming; delay spreads per the
+// addendum (Model B: 15 ns rms, Model D: 50 ns rms).
+enum class TgacProfile { kModelB, kModelD };
+
+struct TgacParams {
+  TgacProfile profile = TgacProfile::kModelD;
+  int num_taps = 10;
+  double tap_spacing_s = 10e-9;
+  // Ricean K-factor (linear) applied to the first tap (LoS component).
+  double k_factor = 1.0;
+};
+
+double tgac_rms_delay_spread_s(TgacProfile profile);
+
+class TgacChannel {
+ public:
+  explicit TgacChannel(TgacParams params = {});
+
+  // One independent channel realization across the given sub-carriers:
+  // h[k] is n_tx x n_rx. Total average power is normalized to 1 per
+  // TX-RX antenna pair.
+  Cfr realize(int n_tx, int n_rx, const std::vector<int>& subcarriers,
+              std::mt19937_64& rng) const;
+
+  const TgacParams& params() const { return params_; }
+  // Normalized per-tap powers (sum = 1).
+  const std::vector<double>& tap_powers() const { return tap_powers_; }
+
+ private:
+  TgacParams params_;
+  std::vector<double> tap_powers_;
+};
+
+}  // namespace deepcsi::phy

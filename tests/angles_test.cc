@@ -1,0 +1,186 @@
+// Algorithm 1 / Eq. (4)-(7): the Givens decomposition must reconstruct
+// V * Dtilde^dagger exactly, and the structural invariants the paper
+// relies on (real non-negative last row, immunity to common phases) must
+// hold for every (M, NSS) geometry the standard allows here.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "feedback/angles.h"
+#include "linalg/svd.h"
+
+namespace deepcsi::feedback {
+namespace {
+
+using linalg::CMat;
+using linalg::cplx;
+
+CMat random_v(std::size_t m, std::size_t nss, std::mt19937_64& rng) {
+  const CMat a = CMat::random_gaussian(m, m, rng);
+  return linalg::svd(a).v.first_columns(nss);
+}
+
+TEST(NumAnglesTest, MatchesStandardTable) {
+  // 802.11ac Table: number of angles for (Nr, Nc).
+  EXPECT_EQ(num_angles(2, 1), 1u);
+  EXPECT_EQ(num_angles(2, 2), 1u);
+  EXPECT_EQ(num_angles(3, 1), 2u);
+  EXPECT_EQ(num_angles(3, 2), 3u);
+  EXPECT_EQ(num_angles(3, 3), 3u);
+  EXPECT_EQ(num_angles(4, 1), 3u);
+  EXPECT_EQ(num_angles(4, 2), 5u);
+  EXPECT_EQ(num_angles(4, 3), 6u);
+  EXPECT_EQ(num_angles(4, 4), 6u);
+}
+
+TEST(DMatrixTest, StructureOfEquation4) {
+  const std::vector<double> phi = {0.3, 1.1};
+  const CMat d = d_matrix(3, 1, phi);
+  EXPECT_NEAR(std::abs(d(0, 0) - std::polar(1.0, 0.3)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(d(1, 1) - std::polar(1.0, 1.1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(d(2, 2) - cplx(1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(d(0, 1)), 0.0, 1e-12);
+  EXPECT_TRUE(linalg::is_unitary(d));
+}
+
+TEST(GMatrixTest, StructureOfEquation5) {
+  const double psi = 0.7;
+  const CMat g = g_matrix(3, 3, 1, psi);
+  EXPECT_NEAR(g(0, 0).real(), std::cos(psi), 1e-12);
+  EXPECT_NEAR(g(0, 2).real(), std::sin(psi), 1e-12);
+  EXPECT_NEAR(g(2, 0).real(), -std::sin(psi), 1e-12);
+  EXPECT_NEAR(g(2, 2).real(), std::cos(psi), 1e-12);
+  EXPECT_NEAR(std::abs(g(1, 1) - cplx(1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_TRUE(linalg::is_unitary(g));
+}
+
+class DecomposeReconstructTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DecomposeReconstructTest, ExactWithoutQuantization) {
+  const auto [m, nss] = GetParam();
+  std::mt19937_64 rng(100 * m + nss);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CMat v = random_v(static_cast<std::size_t>(m),
+                            static_cast<std::size_t>(nss), rng);
+    const BfmAngles angles = decompose_v(v);
+    EXPECT_EQ(angles.phi.size(), num_angles(m, nss));
+    EXPECT_EQ(angles.psi.size(), num_angles(m, nss));
+    const CMat vt = reconstruct_v(angles);
+
+    // Vtilde = V * Dtilde^dagger: same matrix after normalizing V's last
+    // row phases.
+    CMat expected = v;
+    for (int c = 0; c < nss; ++c)
+      expected.scale_col(
+          static_cast<std::size_t>(c),
+          std::polar(1.0, -std::arg(v(static_cast<std::size_t>(m - 1),
+                                      static_cast<std::size_t>(c)))));
+    EXPECT_LT(linalg::max_abs_diff(vt, expected), 1e-9);
+  }
+}
+
+TEST_P(DecomposeReconstructTest, LastRowRealNonNegative) {
+  const auto [m, nss] = GetParam();
+  std::mt19937_64 rng(500 + 10 * m + nss);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CMat v = random_v(static_cast<std::size_t>(m),
+                            static_cast<std::size_t>(nss), rng);
+    const CMat vt = reconstruct_v(decompose_v(v));
+    for (int c = 0; c < nss; ++c) {
+      const cplx last = vt(static_cast<std::size_t>(m - 1),
+                           static_cast<std::size_t>(c));
+      EXPECT_NEAR(last.imag(), 0.0, 1e-9);
+      EXPECT_GE(last.real(), -1e-9);
+    }
+  }
+}
+
+TEST_P(DecomposeReconstructTest, ColumnsStayOrthonormal) {
+  const auto [m, nss] = GetParam();
+  std::mt19937_64 rng(900 + 10 * m + nss);
+  const CMat v = random_v(static_cast<std::size_t>(m),
+                          static_cast<std::size_t>(nss), rng);
+  const CMat vt = reconstruct_v(decompose_v(v));
+  EXPECT_LT(linalg::orthonormality_defect(vt), 1e-9);
+}
+
+TEST_P(DecomposeReconstructTest, AngleRangesAreStandardCompliant) {
+  const auto [m, nss] = GetParam();
+  std::mt19937_64 rng(1300 + 10 * m + nss);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CMat v = random_v(static_cast<std::size_t>(m),
+                            static_cast<std::size_t>(nss), rng);
+    const BfmAngles angles = decompose_v(v);
+    for (double phi : angles.phi) {
+      EXPECT_GE(phi, 0.0);
+      EXPECT_LT(phi, 2.0 * std::numbers::pi);
+    }
+    for (double psi : angles.psi) {
+      EXPECT_GE(psi, 0.0);
+      EXPECT_LE(psi, std::numbers::pi / 2.0 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DecomposeReconstructTest,
+    ::testing::Values(std::pair<int, int>{2, 1}, std::pair<int, int>{2, 2},
+                      std::pair<int, int>{3, 1}, std::pair<int, int>{3, 2},
+                      std::pair<int, int>{3, 3}, std::pair<int, int>{4, 1},
+                      std::pair<int, int>{4, 2}, std::pair<int, int>{4, 3},
+                      std::pair<int, int>{4, 4}));
+
+TEST(BeamformingVTest, ExtractsRightSingularVectorsOfHTransposed) {
+  std::mt19937_64 rng(31);
+  std::vector<CMat> h;
+  for (int k = 0; k < 4; ++k) h.push_back(CMat::random_gaussian(3, 2, rng));
+  const std::vector<CMat> v = beamforming_v(h, 2);
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(v[k].rows(), 3u);
+    EXPECT_EQ(v[k].cols(), 2u);
+    EXPECT_LT(linalg::orthonormality_defect(v[k]), 1e-9);
+    const linalg::Svd d = linalg::svd(h[k].transpose());
+    EXPECT_LT(linalg::subspace_distance(v[k], d.v.first_columns(2)), 1e-7);
+  }
+}
+
+TEST(BeamformingVTest, RejectsMoreStreamsThanReceiveAntennas) {
+  std::mt19937_64 rng(32);
+  std::vector<CMat> h{CMat::random_gaussian(3, 2, rng)};
+  EXPECT_THROW(beamforming_v(h, 3), std::logic_error);
+}
+
+TEST(BeamformingVTest, CommonPhaseAndRxPhasesDoNotChangeVtilde) {
+  // The end-to-end invariance the paper's design rests on: offsets that
+  // multiply whole columns of H^T (common phase, per-RX-antenna phase)
+  // leave the reconstructed Vtilde untouched.
+  std::mt19937_64 rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CMat h = CMat::random_gaussian(3, 2, rng);
+    std::uniform_real_distribution<double> u(-3.0, 3.0);
+    CMat h2 = h * std::polar(1.0, u(rng));  // common phase (PPO/CFO/PDD@k)
+    h2.scale_col(0, std::polar(1.0, u(rng)));  // RX antenna 0 phase
+    h2.scale_col(1, std::polar(1.0, u(rng)));  // RX antenna 1 phase
+
+    const CMat vt1 = reconstruct_v(decompose_v(beamforming_v({h}, 2)[0]));
+    const CMat vt2 = reconstruct_v(decompose_v(beamforming_v({h2}, 2)[0]));
+    EXPECT_LT(linalg::max_abs_diff(vt1, vt2), 1e-7);
+  }
+}
+
+TEST(BeamformingVTest, PerTxChainPhasePercolatesIntoVtilde) {
+  // ... whereas per-TX-chain offsets (the fingerprint) do change Vtilde.
+  std::mt19937_64 rng(34);
+  const CMat h = CMat::random_gaussian(3, 2, rng);
+  CMat h2 = h;
+  h2.scale_row(0, std::polar(1.0, 0.8));  // TX chain 0 phase offset
+  const CMat vt1 = reconstruct_v(decompose_v(beamforming_v({h}, 2)[0]));
+  const CMat vt2 = reconstruct_v(decompose_v(beamforming_v({h2}, 2)[0]));
+  EXPECT_GT(linalg::max_abs_diff(vt1, vt2), 0.05);
+}
+
+}  // namespace
+}  // namespace deepcsi::feedback

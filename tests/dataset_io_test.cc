@@ -1,0 +1,139 @@
+// Trace archive round trips and pcap export (the dataset-sharing story).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "capture/monitor.h"
+#include "dataset/features.h"
+#include "dataset/io.h"
+
+namespace deepcsi::dataset {
+namespace {
+
+std::vector<Trace> make_corpus() {
+  const Scale scale{3, 4, 16};
+  GeneratorConfig gen;
+  std::vector<Trace> traces;
+  traces.push_back(generate_d1_trace(0, 1, 0, scale, gen));
+  traces.push_back(generate_d1_trace(7, 2, 1, scale, gen));
+  traces.push_back(generate_d2_trace(3, 5, 0, scale, gen));  // mobility, NSS=1
+  return traces;
+}
+
+TEST(TraceArchiveTest, SaveLoadRoundTrip) {
+  const auto corpus = make_corpus();
+  const std::string path = ::testing::TempDir() + "/corpus.dcst";
+  save_traces(path, corpus);
+  const auto loaded = load_traces(path);
+  ASSERT_EQ(loaded.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(loaded[i].module_id, corpus[i].module_id);
+    EXPECT_EQ(loaded[i].beamformee, corpus[i].beamformee);
+    EXPECT_EQ(loaded[i].position, corpus[i].position);
+    EXPECT_EQ(loaded[i].trace_index, corpus[i].trace_index);
+    EXPECT_EQ(loaded[i].mobile, corpus[i].mobile);
+    ASSERT_EQ(loaded[i].snapshots.size(), corpus[i].snapshots.size());
+    for (std::size_t s = 0; s < corpus[i].snapshots.size(); ++s) {
+      const auto& a = corpus[i].snapshots[s];
+      const auto& b = loaded[i].snapshots[s];
+      EXPECT_DOUBLE_EQ(a.t_frac, b.t_frac);
+      EXPECT_EQ(a.report.m, b.report.m);
+      EXPECT_EQ(a.report.nss, b.report.nss);
+      EXPECT_EQ(a.report.quant.b_phi, b.report.quant.b_phi);
+      EXPECT_EQ(a.report.subcarriers, b.report.subcarriers);
+      ASSERT_EQ(a.report.per_subcarrier.size(), b.report.per_subcarrier.size());
+      for (std::size_t k = 0; k < a.report.per_subcarrier.size(); k += 17) {
+        EXPECT_EQ(a.report.per_subcarrier[k].q_phi,
+                  b.report.per_subcarrier[k].q_phi);
+        EXPECT_EQ(a.report.per_subcarrier[k].q_psi,
+                  b.report.per_subcarrier[k].q_psi);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceArchiveTest, LoadedTracesProduceIdenticalFeatures) {
+  const auto corpus = make_corpus();
+  const std::string path = ::testing::TempDir() + "/corpus2.dcst";
+  save_traces(path, corpus);
+  const auto loaded = load_traces(path);
+
+  InputSpec spec;
+  spec.subcarrier_stride = 16;
+  const nn::LabeledSet a = make_labeled_set(corpus, spec);
+  const nn::LabeledSet b = make_labeled_set(loaded, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.x.numel(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+  EXPECT_EQ(a.y, b.y);
+  std::remove(path.c_str());
+}
+
+TEST(TraceArchiveTest, RejectsGarbageAndMissing) {
+  EXPECT_THROW(load_traces("/nonexistent/file.dcst"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/garbage.dcst";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not an archive at all", f);
+  std::fclose(f);
+  EXPECT_THROW(load_traces(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PcapExportTest, ExportedTraceIsObservable) {
+  const auto corpus = make_corpus();
+  const std::string path = ::testing::TempDir() + "/trace.pcap";
+  export_trace_pcap(path, corpus[0], /*duration_s=*/120.0);
+
+  const auto packets = capture::read_pcap(path);
+  ASSERT_EQ(packets.size(), corpus[0].snapshots.size());
+  EXPECT_NEAR(packets.back().timestamp_s, 120.0, 1e-3);
+
+  // The monitor must recover the exact quantized angles.
+  const auto observed = capture::observe_feedback(
+      packets, capture::MacAddress::for_station(0));
+  ASSERT_EQ(observed.size(), corpus[0].snapshots.size());
+  for (std::size_t s = 0; s < observed.size(); ++s) {
+    EXPECT_EQ(observed[s].beamformer, capture::MacAddress::for_module(0));
+    EXPECT_EQ(observed[s].report.per_subcarrier[10].q_phi,
+              corpus[0].snapshots[s].report.per_subcarrier[10].q_phi);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PcapExportTest, SingleStreamTraceExports) {
+  // NSS = 1 reports (beamformee 0 in D2) use a different report geometry.
+  const auto corpus = make_corpus();
+  const std::string path = ::testing::TempDir() + "/trace_1ss.pcap";
+  export_trace_pcap(path, corpus[2]);
+  const auto observed = capture::observe_feedback(
+      capture::read_pcap(path), capture::MacAddress::for_station(0));
+  ASSERT_EQ(observed.size(), corpus[2].snapshots.size());
+  EXPECT_EQ(observed[0].report.nss, 1);
+  std::remove(path.c_str());
+}
+
+TEST(ShuffleTest, DeterministicPermutationPreservesPairs) {
+  const auto corpus = make_corpus();
+  InputSpec spec;
+  spec.subcarrier_stride = 16;
+  nn::LabeledSet a = make_labeled_set(corpus, spec);
+  nn::LabeledSet b = make_labeled_set(corpus, spec);
+  shuffle_labeled_set(a, 42);
+  shuffle_labeled_set(b, 42);
+  EXPECT_EQ(a.y, b.y);  // same seed, same order
+  for (std::size_t i = 0; i < a.x.numel(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+
+  nn::LabeledSet c = make_labeled_set(corpus, spec);
+  shuffle_labeled_set(c, 43);
+  EXPECT_NE(c.y, a.y);  // different seed, different order
+
+  // Multiset of labels unchanged.
+  std::vector<int> ya = a.y, yc = c.y;
+  std::sort(ya.begin(), ya.end());
+  std::sort(yc.begin(), yc.end());
+  EXPECT_EQ(ya, yc);
+}
+
+}  // namespace
+}  // namespace deepcsi::dataset

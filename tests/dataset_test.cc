@@ -1,0 +1,289 @@
+// Dataset generation and splits: Table I/II definitions, trace structure,
+// feature assembly, and the offset-correction baseline transform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dataset/splits.h"
+#include "feedback/quantizer.h"
+
+namespace deepcsi::dataset {
+namespace {
+
+Scale tiny_scale() { return Scale{4, 5, 6}; }
+
+TEST(SplitsTest, TableOneDefinitions) {
+  const D1Split s1 = d1_split(SetId::kS1);
+  EXPECT_EQ(s1.train_positions, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(s1.test_positions, s1.train_positions);
+  const D1Split s2 = d1_split(SetId::kS2);
+  EXPECT_EQ(s2.train_positions, (std::vector<int>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(s2.test_positions, (std::vector<int>{2, 4, 6, 8}));
+  const D1Split s3 = d1_split(SetId::kS3);
+  EXPECT_EQ(s3.train_positions, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(s3.test_positions, (std::vector<int>{6, 7, 8, 9}));
+  EXPECT_THROW(d1_split(SetId::kS4), std::logic_error);
+}
+
+TEST(SplitsTest, TableTwoDefinitions) {
+  EXPECT_EQ(d2_group_fix1(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(d2_group_fix2(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(d2_group_mob1(), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(d2_group_mob2(), (std::vector<int>{8, 9, 10}));
+  const D2Split s4 = d2_split(SetId::kS4);
+  EXPECT_EQ(s4.train_traces, d2_group_mob1());
+  EXPECT_EQ(s4.test_traces, d2_group_mob2());
+  const D2Split s5 = d2_split(SetId::kS5);
+  EXPECT_EQ(s5.train_traces, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s5.test_traces, (std::vector<int>{4, 5, 6, 7, 8, 9, 10}));
+  const D2Split s6 = d2_split(SetId::kS6);
+  EXPECT_EQ(s6.train_traces, (std::vector<int>{4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(s6.test_traces, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_THROW(d2_split(SetId::kS1), std::logic_error);
+}
+
+TEST(TraceTest, D1TraceStructure) {
+  const Trace t = generate_d1_trace(2, 5, 0, tiny_scale(), {});
+  EXPECT_EQ(t.module_id, 2);
+  EXPECT_EQ(t.position, 5);
+  EXPECT_FALSE(t.mobile);
+  ASSERT_EQ(t.snapshots.size(), 4u);
+  for (const Snapshot& s : t.snapshots) {
+    EXPECT_EQ(s.report.m, 3);
+    EXPECT_EQ(s.report.nss, 2);
+    EXPECT_EQ(s.report.subcarriers.size(), 234u);
+    EXPECT_EQ(s.report.per_subcarrier.size(), 234u);
+  }
+  EXPECT_DOUBLE_EQ(t.snapshots.front().t_frac, 0.0);
+  EXPECT_DOUBLE_EQ(t.snapshots.back().t_frac, 1.0);
+}
+
+TEST(TraceTest, D1Deterministic) {
+  const Trace a = generate_d1_trace(1, 2, 1, tiny_scale(), {});
+  const Trace b = generate_d1_trace(1, 2, 1, tiny_scale(), {});
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+  for (std::size_t i = 0; i < a.snapshots.size(); ++i) {
+    EXPECT_EQ(a.snapshots[i].report.per_subcarrier[0].q_phi,
+              b.snapshots[i].report.per_subcarrier[0].q_phi);
+    EXPECT_EQ(a.snapshots[i].report.per_subcarrier[100].q_psi,
+              b.snapshots[i].report.per_subcarrier[100].q_psi);
+  }
+}
+
+TEST(TraceTest, D1DiffersAcrossModules) {
+  const Trace a = generate_d1_trace(0, 1, 0, tiny_scale(), {});
+  const Trace b = generate_d1_trace(1, 1, 0, tiny_scale(), {});
+  int diffs = 0;
+  for (std::size_t k = 0; k < 234; k += 10)
+    if (a.snapshots[0].report.per_subcarrier[k].q_phi !=
+        b.snapshots[0].report.per_subcarrier[k].q_phi)
+      ++diffs;
+  EXPECT_GT(diffs, 3);
+}
+
+TEST(TraceTest, D2BeamformeeZeroHasOneStream) {
+  const Trace t = generate_d2_trace(0, 0, 0, tiny_scale(), {});
+  EXPECT_EQ(t.snapshots[0].report.nss, 1);
+  EXPECT_EQ(t.snapshots[0].report.m, 3);
+  const Trace t1 = generate_d2_trace(0, 0, 1, tiny_scale(), {});
+  EXPECT_EQ(t1.snapshots[0].report.nss, 2);
+}
+
+TEST(TraceTest, D2MobilityFlags) {
+  for (int idx = 0; idx < kNumD2Traces; ++idx)
+    EXPECT_EQ(d2_trace_is_mobile(idx), idx >= 4);
+  EXPECT_TRUE(generate_d2_trace(0, 6, 0, tiny_scale(), {}).mobile);
+  EXPECT_FALSE(generate_d2_trace(0, 1, 0, tiny_scale(), {}).mobile);
+  EXPECT_THROW(generate_d2_trace(0, 11, 0, tiny_scale(), {}),
+               std::logic_error);
+}
+
+TEST(FeaturesTest, ChannelCounts) {
+  InputSpec spec;
+  spec.num_antennas = 3;
+  EXPECT_EQ(num_input_channels(spec), 5);  // I,Q,I,Q,I — last row is real
+  spec.num_antennas = 2;
+  EXPECT_EQ(num_input_channels(spec), 4);
+  spec.num_antennas = 1;
+  EXPECT_EQ(num_input_channels(spec), 2);
+}
+
+TEST(FeaturesTest, ColumnCounts) {
+  InputSpec spec;
+  EXPECT_EQ(num_input_columns(spec), 234u);
+  spec.band = phy::Band::k40MHz;
+  EXPECT_EQ(num_input_columns(spec), 110u);
+  spec.band = phy::Band::k20MHz;
+  EXPECT_EQ(num_input_columns(spec), 54u);
+  spec.band = phy::Band::k80MHz;
+  spec.subcarrier_stride = 2;
+  EXPECT_EQ(num_input_columns(spec), 117u);
+}
+
+TEST(FeaturesTest, LastAntennaRowContributesRealOnly) {
+  const Trace t = generate_d1_trace(0, 1, 0, tiny_scale(), {});
+  InputSpec spec;
+  spec.subcarrier_stride = 1;
+  const std::size_t w = num_input_columns(spec);
+  std::vector<float> buf(5 * w);
+  fill_features(t.snapshots[0].report, spec, buf.data());
+  // Channel 4 is the I of the last antenna: all entries are the real
+  // parts of non-negative reals, so >= 0.
+  for (std::size_t i = 0; i < w; ++i) EXPECT_GE(buf[4 * w + i], 0.0f);
+  // Earlier channels contain both signs (I/Q of genuinely complex rows).
+  bool has_negative = false;
+  for (std::size_t i = 0; i < 4 * w; ++i)
+    if (buf[i] < 0.0f) has_negative = true;
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(FeaturesTest, StreamSelectionValidated) {
+  const Trace t = generate_d2_trace(0, 0, 0, tiny_scale(), {});  // nss = 1
+  InputSpec spec;
+  spec.stream = 1;
+  std::vector<float> buf(5 * 234);
+  EXPECT_THROW(fill_features(t.snapshots[0].report, spec, buf.data()),
+               std::logic_error);
+}
+
+TEST(FeaturesTest, OffsetCorrectionRemovesLinearPhase) {
+  const Trace t = generate_d1_trace(3, 4, 0, tiny_scale(), {});
+  InputSpec raw;
+  raw.subcarrier_stride = 1;
+  InputSpec cleaned = raw;
+  cleaned.offset_correction = true;
+  const std::size_t w = num_input_columns(raw);
+  std::vector<float> braw(5 * w), bcln(5 * w);
+  fill_features(t.snapshots[0].report, raw, braw.data());
+  fill_features(t.snapshots[0].report, cleaned, bcln.data());
+
+  // For antenna row 0 (channels 0=I, 1=Q): fit a line to the unwrapped
+  // phase; after cleaning, slope and mean must be ~0.
+  auto fit = [&](const std::vector<float>& buf) {
+    double prev = std::atan2(buf[w], buf[0]);
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+      double p = std::atan2(buf[w + i], buf[i]);
+      while (p - prev > std::numbers::pi) p -= 2 * std::numbers::pi;
+      while (p - prev < -std::numbers::pi) p += 2 * std::numbers::pi;
+      prev = p;
+      const double x = static_cast<double>(i);
+      sx += x;
+      sy += p;
+      sxx += x * x;
+      sxy += x * p;
+    }
+    const double n = static_cast<double>(w);
+    const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    const double mean = sy / n;
+    return std::pair<double, double>(slope, mean);
+  };
+  const auto [slope_c, mean_c] = fit(bcln);
+  EXPECT_NEAR(slope_c, 0.0, 5e-3);
+  EXPECT_NEAR(mean_c, 0.0, 0.3);
+  // And the cleaned features must actually differ from the raw ones.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < braw.size(); ++i)
+    diff += std::abs(braw[i] - bcln[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(MakeLabeledSetTest, TimeSlicingAndLabels) {
+  std::vector<Trace> traces;
+  traces.push_back(generate_d1_trace(0, 1, 0, tiny_scale(), {}));
+  traces.push_back(generate_d1_trace(7, 1, 0, tiny_scale(), {}));
+  InputSpec spec;
+  spec.subcarrier_stride = 6;
+  const nn::LabeledSet all = make_labeled_set(traces, spec);
+  EXPECT_EQ(all.size(), 8u);  // 2 traces x 4 snapshots
+  EXPECT_EQ(all.num_classes, 10);
+  EXPECT_EQ(all.y[0], 0);
+  EXPECT_EQ(all.y[4], 7);
+  EXPECT_EQ(all.x.dim(1), 5u);
+  EXPECT_EQ(all.x.dim(3), num_input_columns(spec));
+
+  // t_frac grid for 4 snapshots: {0, 1/3, 2/3, 1}; first 80% -> 3 each.
+  const nn::LabeledSet head = make_labeled_set(traces, spec, 0.0, 0.8);
+  EXPECT_EQ(head.size(), 6u);
+  const nn::LabeledSet tail = make_labeled_set(traces, spec, 0.8, 1.0);
+  EXPECT_EQ(tail.size(), 2u);
+  EXPECT_THROW(make_labeled_set(traces, spec, 0.9, 0.91), std::logic_error);
+}
+
+TEST(BuildD1Test, SetSizesFollowTableOne) {
+  D1Options opt;
+  opt.scale = tiny_scale();
+  opt.input.subcarrier_stride = 12;
+  opt.set = SetId::kS2;
+  const SplitSets s2 = build_d1(opt);
+  // Train: 10 modules x 5 positions x 4 snapshots; test: 4 positions.
+  EXPECT_EQ(s2.train.size(), 10u * 5 * 4);
+  EXPECT_EQ(s2.test.size(), 10u * 4 * 4);
+
+  opt.set = SetId::kS1;
+  const SplitSets s1 = build_d1(opt);
+  EXPECT_EQ(s1.train.size(), 10u * 9 * 3);  // first 80% of 4 snapshots = 3
+  EXPECT_EQ(s1.test.size(), 10u * 9 * 1);
+}
+
+TEST(BuildD1Test, MaxTrainPositionsTruncates) {
+  D1Options opt;
+  opt.scale = tiny_scale();
+  opt.input.subcarrier_stride = 12;
+  opt.set = SetId::kS3;
+  opt.max_train_positions = 2;
+  const SplitSets s = build_d1(opt);
+  EXPECT_EQ(s.train.size(), 10u * 2 * 4);
+  EXPECT_EQ(s.test.size(), 10u * 4 * 4);
+}
+
+TEST(BuildD1Test, MixedBeamformeesDoublesData) {
+  D1Options opt;
+  opt.scale = tiny_scale();
+  opt.input.subcarrier_stride = 12;
+  opt.set = SetId::kS3;
+  const std::size_t single = build_d1(opt).train.size();
+  opt.mix_beamformees = true;
+  EXPECT_EQ(build_d1(opt).train.size(), 2 * single);
+}
+
+TEST(BuildD2Test, SetSizesFollowTableTwo) {
+  D2Options opt;
+  opt.scale = tiny_scale();
+  opt.input.subcarrier_stride = 12;
+  opt.set = SetId::kS4;
+  const SplitSets s4 = build_d2(opt);
+  EXPECT_EQ(s4.train.size(), 10u * 4 * 5);  // mob1: 4 traces x 5 snapshots
+  EXPECT_EQ(s4.test.size(), 10u * 3 * 5);   // mob2: 3 traces
+
+  opt.set = SetId::kS5;
+  const SplitSets s5 = build_d2(opt);
+  EXPECT_EQ(s5.train.size(), 10u * 4 * 5);
+  EXPECT_EQ(s5.test.size(), 10u * 7 * 5);
+}
+
+TEST(BuildD2Test, SubpathVariantRestrictsSnapshots) {
+  D2Options opt;
+  opt.scale = tiny_scale();
+  opt.input.subcarrier_stride = 12;
+  opt.set = SetId::kS4;
+  opt.subpath_variant = true;
+  const SplitSets s = build_d2(opt);
+  // t_frac grid {0, .25, .5, .75, 1}: train keeps < 0.5 (2 per trace),
+  // test keeps [0.5, 5/6] (2 per trace: 0.5 and 0.75).
+  EXPECT_EQ(s.train.size(), 10u * 4 * 2);
+  EXPECT_EQ(s.test.size(), 10u * 3 * 2);
+  opt.set = SetId::kS5;
+  EXPECT_THROW(build_d2(opt), std::logic_error);
+}
+
+TEST(ScaleTest, EnvSelection) {
+  EXPECT_EQ(quick_scale().subcarrier_stride, 2);
+  EXPECT_EQ(full_scale().subcarrier_stride, 1);
+  EXPECT_GT(full_scale().d1_snapshots_per_trace,
+            quick_scale().d1_snapshots_per_trace);
+}
+
+}  // namespace
+}  // namespace deepcsi::dataset

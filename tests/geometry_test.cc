@@ -1,0 +1,101 @@
+// Fig. 6 scene: beamformee grid and the A-B-C-D-B-A mobility path.
+#include <gtest/gtest.h>
+
+#include "phy/geometry.h"
+
+namespace deepcsi::phy {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1, 2, 3}, b{0.5, -1, 2};
+  const Point s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 1.5);
+  EXPECT_DOUBLE_EQ(s.y, 1.0);
+  EXPECT_DOUBLE_EQ(s.z, 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+  EXPECT_NEAR(distance({0, 0, 0}, {3, 4, 0}), 5.0, 1e-12);
+}
+
+TEST(SceneTest, TwoEnvironmentsDiffer) {
+  const Scene e0(0), e1(1);
+  EXPECT_NE(e0.environment().room.width, e1.environment().room.width);
+  EXPECT_NE(e0.environment().clutter.size(), e1.environment().clutter.size());
+}
+
+TEST(SceneTest, InvalidEnvironmentThrows) {
+  EXPECT_THROW(Scene(2), std::logic_error);
+  EXPECT_THROW(Scene(-1), std::logic_error);
+}
+
+TEST(SceneTest, BeamformeesSitInFrontOfApAndStepOutward) {
+  const Scene scene(0);
+  const Point ap = scene.ap_position_a();
+  for (int bf : {0, 1}) {
+    const Point p1 = scene.beamformee_position(bf, 1);
+    EXPECT_NEAR(p1.y - ap.y, 2.6, 1e-12);  // 2.6 m in front (Fig. 6)
+    // Steps of 10 cm away from the axis.
+    for (int pos = 2; pos <= kNumBeamformeePositions; ++pos) {
+      const Point prev = scene.beamformee_position(bf, pos - 1);
+      const Point cur = scene.beamformee_position(bf, pos);
+      const double step = bf == 0 ? prev.x - cur.x : cur.x - prev.x;
+      EXPECT_NEAR(step, kPositionStepMeters, 1e-12);
+      EXPECT_DOUBLE_EQ(cur.y, prev.y);
+    }
+  }
+  // BF0 moves left, BF1 right: they straddle the AP axis.
+  EXPECT_LT(scene.beamformee_position(0, 1).x, ap.x);
+  EXPECT_GT(scene.beamformee_position(1, 1).x, ap.x);
+}
+
+TEST(SceneTest, BeamformeePositionRangeChecked) {
+  const Scene scene(0);
+  EXPECT_THROW(scene.beamformee_position(0, 0), std::logic_error);
+  EXPECT_THROW(scene.beamformee_position(0, 10), std::logic_error);
+  EXPECT_THROW(scene.beamformee_position(2, 1), std::logic_error);
+}
+
+TEST(SceneTest, MobilityPathVisitsABCDBA) {
+  const Scene scene(0);
+  const Point a = scene.ap_position_a();
+  const Point start = scene.mobility_path(0.0);
+  const Point end = scene.mobility_path(1.0);
+  EXPECT_NEAR(distance(start, a), 0.0, 1e-9);
+  EXPECT_NEAR(distance(end, a), 0.0, 1e-9);
+
+  // B is 0.8 m toward the beamformees (fraction 0.8/4.8).
+  const Point b = scene.mobility_path(0.8 / 4.8);
+  EXPECT_NEAR(b.y - a.y, 0.8, 1e-9);
+  EXPECT_NEAR(b.x, a.x, 1e-9);
+  // C: 0.8 m left of B (fraction 1.6/4.8).
+  const Point c = scene.mobility_path(1.6 / 4.8);
+  EXPECT_NEAR(c.x - a.x, -0.8, 1e-9);
+  // D: 1.6 m right of C (fraction 3.2/4.8).
+  const Point d = scene.mobility_path(3.2 / 4.8);
+  EXPECT_NEAR(d.x - a.x, 0.8, 1e-9);
+  // Back through B at fraction 4/4.8.
+  const Point b2 = scene.mobility_path(4.0 / 4.8);
+  EXPECT_NEAR(distance(b2, b), 0.0, 1e-9);
+}
+
+TEST(SceneTest, MobilityPathLengthIs4p8Meters) {
+  EXPECT_DOUBLE_EQ(Scene(0).mobility_path_length(), 4.8);
+}
+
+TEST(SceneTest, MobilityPathContinuous) {
+  const Scene scene(0);
+  Point prev = scene.mobility_path(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    const Point cur = scene.mobility_path(i / 100.0);
+    EXPECT_LT(distance(prev, cur), 0.06);  // 4.8 m / 100 steps + slack
+    prev = cur;
+  }
+}
+
+TEST(SceneTest, PathFractionRangeChecked) {
+  const Scene scene(0);
+  EXPECT_THROW(scene.mobility_path(-0.1), std::logic_error);
+  EXPECT_THROW(scene.mobility_path(1.1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace deepcsi::phy

@@ -1,0 +1,156 @@
+// Hardware impairment profiles: determinism, distinctness across modules,
+// and the physical scales the simulation depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/impairments.h"
+
+namespace deepcsi::phy {
+namespace {
+
+TEST(ModuleProfileTest, DeterministicById) {
+  const ModuleProfile a = make_module_profile(3);
+  const ModuleProfile b = make_module_profile(3);
+  ASSERT_EQ(a.chains.size(), b.chains.size());
+  EXPECT_EQ(a.cfo_bias_hz, b.cfo_bias_hz);
+  EXPECT_EQ(a.sfo_ppm, b.sfo_ppm);
+  for (std::size_t m = 0; m < a.chains.size(); ++m) {
+    EXPECT_EQ(a.chains[m].gain, b.chains[m].gain);
+    EXPECT_EQ(a.chains[m].static_phase, b.chains[m].static_phase);
+    for (int k : {-122, -50, 7, 99})
+      EXPECT_EQ(a.chains[m].response(k), b.chains[m].response(k));
+  }
+}
+
+TEST(ModuleProfileTest, ModulesAreDistinct) {
+  for (int i = 0; i < kNumModules; ++i) {
+    for (int j = i + 1; j < kNumModules; ++j) {
+      const ModuleProfile a = make_module_profile(i);
+      const ModuleProfile b = make_module_profile(j);
+      double diff = 0.0;
+      for (int k = -122; k <= 122; k += 10)
+        diff += std::abs(a.chains[0].response(k) - b.chains[0].response(k));
+      EXPECT_GT(diff, 0.1) << "modules " << i << " and " << j;
+    }
+  }
+}
+
+TEST(ModuleProfileTest, InvalidIdThrows) {
+  EXPECT_THROW(make_module_profile(-1), std::logic_error);
+  EXPECT_THROW(make_module_profile(kNumModules), std::logic_error);
+  EXPECT_THROW(make_module_profile(0, 0), std::logic_error);
+  EXPECT_THROW(make_module_profile(0, 5), std::logic_error);
+}
+
+TEST(ChainImpairmentTest, ResponseNearUnity) {
+  // Imperfections are small: |G_m(k)| within ~20% of the chain gain and
+  // the ripple varies smoothly with k.
+  for (int id = 0; id < kNumModules; ++id) {
+    const ModuleProfile p = make_module_profile(id);
+    for (const ChainImpairment& c : p.chains) {
+      for (int k = -122; k <= 122; k += 4) {
+        const double mag = std::abs(c.response(k));
+        EXPECT_GT(mag, 0.6) << "module " << id;
+        EXPECT_LT(mag, 1.5) << "module " << id;
+      }
+    }
+  }
+}
+
+TEST(ChainImpairmentTest, ResponseVariesAcrossSubcarriers) {
+  // The per-chain filter ripple is the frequency-selective part of the
+  // fingerprint: it must actually vary over the band.
+  const ModuleProfile p = make_module_profile(0);
+  const auto r_lo = p.chains[0].response(-122);
+  const auto r_hi = p.chains[0].response(122);
+  EXPECT_GT(std::abs(r_lo - r_hi), 1e-3);
+}
+
+TEST(ChainImpairmentTest, ChainsWithinModuleDiffer) {
+  // Per-chain differences are what survives the SVD; identical chains
+  // would make the fingerprint vanish.
+  const ModuleProfile p = make_module_profile(1);
+  for (std::size_t m = 1; m < p.chains.size(); ++m) {
+    double diff = 0.0;
+    for (int k = -122; k <= 122; k += 10)
+      diff += std::abs(p.chains[0].response(k) - p.chains[m].response(k));
+    EXPECT_GT(diff, 0.05);
+  }
+}
+
+TEST(ModuleProfileTest, CfoWithinResidualRange) {
+  for (int id = 0; id < kNumModules; ++id) {
+    const ModuleProfile p = make_module_profile(id);
+    EXPECT_LE(std::abs(p.cfo_bias_hz), 2000.0);
+    EXPECT_LE(std::abs(p.sfo_ppm), 5.0);
+  }
+}
+
+TEST(BeamformeeProfileTest, DeterministicAndDistinct) {
+  const BeamformeeProfile a0 = make_beamformee_profile(0, 2);
+  const BeamformeeProfile a1 = make_beamformee_profile(1, 2);
+  EXPECT_EQ(a0.chains[0].response(5), make_beamformee_profile(0, 2).chains[0].response(5));
+  EXPECT_NE(a0.chains[0].response(5), a1.chains[0].response(5));
+  EXPECT_GE(a0.noise_figure_db, 0.0);
+  EXPECT_LE(a0.noise_figure_db, 2.0);
+}
+
+TEST(ModuleProfileTest, IqImageLeakageIsSmall) {
+  for (int id = 0; id < kNumModules; ++id)
+    for (const auto& c : make_module_profile(id).chains)
+      EXPECT_LE(std::abs(c.iq_beta), 0.015 + 1e-12);
+}
+
+TEST(LtfSignProductTest, SymmetricAndBinary) {
+  for (int k = 1; k <= 122; ++k) {
+    const int s = ltf_sign_product(k);
+    EXPECT_TRUE(s == 1 || s == -1);
+    EXPECT_EQ(s, ltf_sign_product(-k));
+  }
+}
+
+TEST(ImpairmentTogglesTest, DisablingComponentsZeroesOnlyThem) {
+  const ImpairmentToggles all;
+  ImpairmentToggles no_phase;
+  no_phase.static_phase = false;
+  const ModuleProfile base = make_module_profile(2, 3, all);
+  const ModuleProfile ablated = make_module_profile(2, 3, no_phase);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(ablated.chains[m].static_phase, 0.0);
+    // Everything else keeps the identical random draw.
+    EXPECT_EQ(ablated.chains[m].gain, base.chains[m].gain);
+    EXPECT_EQ(ablated.chains[m].iq_beta, base.chains[m].iq_beta);
+    ASSERT_EQ(ablated.chains[m].ripple.size(), base.chains[m].ripple.size());
+    for (std::size_t t = 0; t < base.chains[m].ripple.size(); ++t)
+      EXPECT_EQ(ablated.chains[m].ripple[t].amplitude,
+                base.chains[m].ripple[t].amplitude);
+  }
+  EXPECT_EQ(ablated.cfo_bias_hz, base.cfo_bias_hz);
+}
+
+TEST(ImpairmentTogglesTest, AllOffYieldsIdealHardware) {
+  const ImpairmentToggles none{false, false, false, false, false, false};
+  const ModuleProfile p = make_module_profile(0, 3, none);
+  for (const ChainImpairment& c : p.chains) {
+    EXPECT_EQ(c.gain, 1.0);
+    EXPECT_EQ(c.static_phase, 0.0);
+    EXPECT_TRUE(c.ripple.empty());
+    EXPECT_EQ(c.iq_beta, cplx(0.0, 0.0));
+    for (int k : {-100, 0, 100})
+      EXPECT_NEAR(std::abs(c.response(k) - cplx(1.0, 0.0)), 0.0, 1e-12);
+  }
+  EXPECT_EQ(p.cfo_bias_hz, 0.0);
+  EXPECT_EQ(p.sfo_ppm, 0.0);
+}
+
+TEST(LtfSignProductTest, NotConstant) {
+  int pos = 0, neg = 0;
+  for (int k = 2; k <= 122; ++k)
+    (ltf_sign_product(k) > 0 ? pos : neg) += 1;
+  EXPECT_GT(pos, 10);
+  EXPECT_GT(neg, 10);
+}
+
+}  // namespace
+}  // namespace deepcsi::phy

@@ -1,0 +1,151 @@
+// End-to-end integration: PHY simulation -> sounding -> feedback
+// compression -> (frames on the air) -> monitor capture -> feature
+// assembly -> training -> authentication. Small scale, real code path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "capture/monitor.h"
+#include "capture/pcap.h"
+#include "core/pipeline.h"
+#include "dataset/splits.h"
+
+namespace deepcsi {
+namespace {
+
+// Mini but non-trivial scale: all 10 modules, 6 snapshots per trace.
+dataset::Scale mini_scale() { return dataset::Scale{6, 6, 6}; }
+
+core::ExperimentConfig mini_config() {
+  core::ExperimentConfig cfg = core::quick_experiment_config();
+  cfg.model.filters = 16;
+  cfg.model.conv_layers = 2;
+  cfg.model.dense = {32, 16};
+  cfg.model.dropout = {0.2f, 0.1f};
+  cfg.train.epochs = 14;
+  return cfg;
+}
+
+TEST(IntegrationTest, FingerprintingLearnsOnS1MiniDataset) {
+  // The headline claim at mini scale: with matched train/test positions
+  // (S1), the classifier identifies the module far above the 10% chance
+  // level from quantized beamforming feedback alone.
+  dataset::D1Options opt;
+  opt.set = dataset::SetId::kS1;
+  opt.scale = mini_scale();
+  opt.input.subcarrier_stride = 6;
+  const dataset::SplitSets split = dataset::build_d1(opt);
+  const core::ExperimentResult result =
+      core::run_classification(split, mini_config());
+  EXPECT_GT(result.accuracy, 0.5) << "chance level is 0.10";
+}
+
+TEST(IntegrationTest, ObserverPathPcapToAuthentication) {
+  // Full observer loop: beamformee reports -> 802.11 frames -> pcap file
+  // -> monitor filter -> feature extraction -> classifier. The classifier
+  // is trained directly on trace reports; the observer must reach the
+  // exact same features through the air interface.
+  const dataset::Scale scale = mini_scale();
+  dataset::GeneratorConfig gen;
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 6;
+
+  // Train on modules' position-1 traces.
+  std::vector<dataset::Trace> traces;
+  for (int module = 0; module < phy::kNumModules; ++module)
+    traces.push_back(dataset::generate_d1_trace(module, 1, 0, scale, gen));
+  nn::LabeledSet train = dataset::make_labeled_set(traces, spec);
+  dataset::SplitSets split{train, train};
+  core::Authenticator auth =
+      core::train_authenticator(split, spec, mini_config());
+
+  // Put module 4's feedback on the air, mixed with module 2's, captured
+  // by a monitor that filters beamformee 0.
+  std::vector<capture::CapturedPacket> packets;
+  int seq = 0;
+  for (int module : {4, 2, 4, 4}) {
+    capture::BeamformingActionFrame frame;
+    frame.ra = capture::MacAddress::for_module(module);
+    frame.ta = capture::MacAddress::for_station(0);
+    frame.bssid = frame.ra;
+    frame.sequence = static_cast<std::uint16_t>(seq);
+    frame.mimo_control.nc = 2;
+    frame.mimo_control.nr = 3;
+    frame.mimo_control.bandwidth = 2;
+    frame.mimo_control.codebook_high = true;
+    frame.report = feedback::pack_report(
+        traces[static_cast<std::size_t>(module)].snapshots[static_cast<std::size_t>(seq) % 6].report);
+    packets.push_back({static_cast<double>(seq) * 0.1, frame.serialize()});
+    ++seq;
+  }
+
+  const std::string path = ::testing::TempDir() + "/observer.pcap";
+  capture::write_pcap(path, packets);
+  const auto captured = capture::read_pcap(path);
+  const auto observed = capture::observe_feedback(
+      captured, capture::MacAddress::for_station(0));
+  ASSERT_EQ(observed.size(), 4u);
+
+  // The observer's reconstructed reports equal the beamformees' originals.
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const auto& original =
+        traces[i == 1 ? 2u : 4u].snapshots[i % 6].report;
+    ASSERT_EQ(observed[i].report.per_subcarrier.size(),
+              original.per_subcarrier.size());
+    for (std::size_t k = 0; k < original.per_subcarrier.size(); k += 37) {
+      EXPECT_EQ(observed[i].report.per_subcarrier[k].q_phi,
+                original.per_subcarrier[k].q_phi);
+      EXPECT_EQ(observed[i].report.per_subcarrier[k].q_psi,
+                original.per_subcarrier[k].q_psi);
+    }
+    // And classification through the air matches direct classification.
+    const auto via_air = auth.classify(observed[i].report);
+    const auto direct = auth.classify(original);
+    EXPECT_EQ(via_air.module_id, direct.module_id);
+    EXPECT_NEAR(via_air.confidence, direct.confidence, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, QuantizationCodebookAffectsFeatures) {
+  // The same physical sounding with the (5,7) codebook yields coarser
+  // features than with (7,9): reconstruction differs more from the
+  // high-precision version.
+  dataset::GeneratorConfig gen_high;
+  dataset::GeneratorConfig gen_low;
+  gen_low.quant = feedback::mu_mimo_codebook_low();
+  const dataset::Scale scale{2, 2, 6};
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 6;
+
+  const auto t_high = dataset::generate_d1_trace(0, 1, 0, scale, gen_high);
+  const auto t_low = dataset::generate_d1_trace(0, 1, 0, scale, gen_low);
+  const std::size_t n =
+      static_cast<std::size_t>(dataset::num_input_channels(spec)) *
+      dataset::num_input_columns(spec);
+  std::vector<float> fh(n), fl(n);
+  dataset::fill_features(t_high.snapshots[0].report, spec, fh.data());
+  dataset::fill_features(t_low.snapshots[0].report, spec, fl.data());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < n; ++i) diff += std::abs(fh[i] - fl[i]);
+  EXPECT_GT(diff / static_cast<double>(n), 1e-4);
+  EXPECT_LT(diff / static_cast<double>(n), 0.05);  // same channel after all
+}
+
+TEST(IntegrationTest, TraceContextSharedAcrossBeamformees) {
+  // Both beamformees of a D1 measurement observe the same module power
+  // cycle: regenerating beamformee traces must reuse the same trace
+  // context (this enables the cross-beamformee experiment of Fig. 11).
+  const dataset::Scale scale{2, 2, 6};
+  dataset::GeneratorConfig gen;
+  const auto bf0 = dataset::generate_d1_trace(5, 2, 0, scale, gen);
+  const auto bf1 = dataset::generate_d1_trace(5, 2, 1, scale, gen);
+  // Indirect check: reports differ (different RX chains / positions) but
+  // both carry module 5's fingerprint; at minimum the generation must be
+  // deterministic and distinct across beamformees.
+  EXPECT_NE(bf0.snapshots[0].report.per_subcarrier[0].q_phi,
+            bf1.snapshots[0].report.per_subcarrier[0].q_phi);
+}
+
+}  // namespace
+}  // namespace deepcsi

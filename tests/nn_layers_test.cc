@@ -1,0 +1,334 @@
+// Forward-pass correctness of each NN layer against hand-computed or
+// brute-force references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "nn/model.h"
+#include "nn/pool.h"
+
+namespace deepcsi::nn {
+namespace {
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  std::mt19937_64 rng(1);
+  Conv2d conv(1, 1, 1, 3, rng);
+  // Set kernel to [0, 1, 0] with zero bias -> identity under 'same' pad.
+  conv.params()[0]->value.fill(0.0f);
+  conv.params()[0]->value[1] = 1.0f;
+  conv.params()[1]->value.zero();
+
+  Tensor x({1, 1, 1, 6});
+  for (std::size_t i = 0; i < 6; ++i) x[i] = static_cast<float>(i + 1);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_TRUE(y.same_shape(x));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2dTest, SamePaddingZerosOutsideBorders) {
+  std::mt19937_64 rng(1);
+  Conv2d conv(1, 1, 1, 3, rng);
+  // Kernel [1, 0, 0]: shifts input right; first output sees zero padding.
+  conv.params()[0]->value.fill(0.0f);
+  conv.params()[0]->value[0] = 1.0f;
+  conv.params()[1]->value.zero();
+  Tensor x({1, 1, 1, 4});
+  for (std::size_t i = 0; i < 4; ++i) x[i] = static_cast<float>(i + 1);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);  // pad
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+  EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(Conv2dTest, BruteForceReference) {
+  std::mt19937_64 rng(3);
+  const std::size_t ci = 3, co = 4, kw = 5, n = 2, w = 11;
+  Conv2d conv(ci, co, 1, kw, rng);
+  Tensor x({n, ci, 1, w});
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = dist(rng);
+  const Tensor y = conv.forward(x, false);
+
+  const Tensor& wt = conv.params()[0]->value;
+  const Tensor& bs = conv.params()[1]->value;
+  const std::ptrdiff_t pad = (kw - 1) / 2;
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t o = 0; o < co; ++o)
+      for (std::size_t p = 0; p < w; ++p) {
+        float acc = bs[o];
+        for (std::size_t c = 0; c < ci; ++c)
+          for (std::size_t j = 0; j < kw; ++j) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(p) + static_cast<std::ptrdiff_t>(j) - pad;
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(w)) continue;
+            acc += wt[(o * ci + c) * kw + j] *
+                   x.at4(b, c, 0, static_cast<std::size_t>(src));
+          }
+        EXPECT_NEAR(y.at4(b, o, 0, p), acc, 1e-4f);
+      }
+}
+
+TEST(Conv2dTest, RejectsEvenKernels) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(Conv2d(1, 1, 1, 4, rng), std::logic_error);
+}
+
+TEST(Conv2dTest, RejectsChannelMismatch) {
+  std::mt19937_64 rng(1);
+  Conv2d conv(2, 1, 1, 3, rng);
+  Tensor x({1, 3, 1, 4});
+  EXPECT_THROW(conv.forward(x, false), std::logic_error);
+}
+
+TEST(DenseTest, MatchesMatrixVectorProduct) {
+  std::mt19937_64 rng(5);
+  Dense dense(4, 3, rng);
+  Tensor x({2, 4});
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = dist(rng);
+  const Tensor y = dense.forward(x, false);
+  const Tensor& wt = dense.params()[0]->value;
+  const Tensor& bs = dense.params()[1]->value;
+  for (std::size_t n = 0; n < 2; ++n)
+    for (std::size_t o = 0; o < 3; ++o) {
+      float acc = bs[o];
+      for (std::size_t i = 0; i < 4; ++i) acc += wt[o * 4 + i] * x[n * 4 + i];
+      EXPECT_NEAR(y[n * 3 + o], acc, 1e-5f);
+    }
+}
+
+TEST(SeluTest, KnownValues) {
+  Selu selu;
+  Tensor x({3});
+  x[0] = 1.0f;
+  x[1] = 0.0f;
+  x[2] = -1.0f;
+  const Tensor y = selu.forward(x, false);
+  EXPECT_NEAR(y[0], kSeluLambda, 1e-6f);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[2], kSeluLambda * kSeluAlpha * (std::exp(-1.0f) - 1.0f), 1e-6f);
+}
+
+TEST(SeluTest, SelfNormalizingFixedPointStatistics) {
+  // SELU maps N(0,1) inputs to approximately zero-mean unit-variance
+  // outputs — the property the initialization relies on.
+  std::mt19937_64 rng(11);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  Tensor x({100000});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = dist(rng);
+  Selu selu;
+  const Tensor y = selu.forward(x, false);
+  double mean = y.sum() / static_cast<double>(y.numel());
+  double var = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    var += (y[i] - mean) * (y[i] - mean);
+  var /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(MaxPoolTest, PicksMaximaAndFloorsOddTails) {
+  MaxPool2d pool(1, 2);
+  Tensor x({1, 1, 1, 5});
+  const float vals[5] = {3, 1, 4, 1, 5};
+  for (std::size_t i = 0; i < 5; ++i) x[i] = vals[i];
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.dim(3), 2u);  // element 5 (odd tail) dropped
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(1, 2);
+  Tensor x({1, 1, 1, 4});
+  x[0] = 1;
+  x[1] = 9;
+  x[2] = 7;
+  x[3] = 2;
+  pool.forward(x, true);
+  Tensor g({1, 1, 1, 2});
+  g[0] = 5;
+  g[1] = 11;
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 5.0f);
+  EXPECT_FLOAT_EQ(gx[2], 11.0f);
+  EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+TEST(AlphaDropoutTest, EvalModeIsIdentity) {
+  AlphaDropout drop(0.5f, 1);
+  Tensor x({100});
+  for (std::size_t i = 0; i < 100; ++i) x[i] = static_cast<float>(i) * 0.1f;
+  const Tensor y = drop.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(AlphaDropoutTest, PreservesMeanAndVarianceApproximately) {
+  AlphaDropout drop(0.3f, 7);
+  std::mt19937_64 rng(13);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  Tensor x({200000});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = dist(rng);
+  const Tensor y = drop.forward(x, /*training=*/true);
+  const double mean = y.sum() / static_cast<double>(y.numel());
+  double var = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    var += (y[i] - mean) * (y[i] - mean);
+  var /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(AlphaDropoutTest, DropsExpectedFraction) {
+  // With constant input, outputs take exactly two values: a + b for kept
+  // units and a*alpha' + b for dropped ones.
+  AlphaDropout drop(0.5f, 3);
+  Tensor x({10000});
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x, true);
+  const float alpha_p = -kSeluLambda * kSeluAlpha;
+  const float keep = 0.5f;
+  const float a =
+      1.0f / std::sqrt(keep * (1.0f + (1.0f - keep) * alpha_p * alpha_p));
+  const float b = -a * (1.0f - keep) * alpha_p;
+  const float kept_value = a * 1.0f + b;
+  const float dropped_value = a * alpha_p + b;
+  int kept_count = 0, dropped_count = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (std::abs(y[i] - kept_value) < 1e-5f) ++kept_count;
+    else if (std::abs(y[i] - dropped_value) < 1e-5f) ++dropped_count;
+  }
+  EXPECT_EQ(kept_count + dropped_count, 10000);
+  EXPECT_NEAR(static_cast<double>(dropped_count) / 10000.0, 0.5, 0.03);
+}
+
+TEST(AlphaDropoutTest, RejectsInvalidRate) {
+  EXPECT_THROW(AlphaDropout(1.0f, 1), std::logic_error);
+  EXPECT_THROW(AlphaDropout(-0.1f, 1), std::logic_error);
+}
+
+TEST(AttentionTest, OutputBetweenXAndTwiceX) {
+  // out = x (1 + sigmoid(s)): for positive x, x < out < 2x.
+  std::mt19937_64 rng(17);
+  SpatialAttention att(rng);
+  Tensor x({2, 3, 1, 8});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = 0.5f + 0.01f * static_cast<float>(i % 7);
+  const Tensor y = att.forward(x, false);
+  ASSERT_TRUE(y.same_shape(x));
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_GT(y[i], x[i]);
+    EXPECT_LT(y[i], 2.0f * x[i]);
+  }
+}
+
+TEST(FlattenTest, RoundTripShape) {
+  Flatten flat;
+  Tensor x({2, 3, 1, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y = flat.forward(x, false);
+  EXPECT_EQ(y.rank(), 2u);
+  EXPECT_EQ(y.dim(1), 12u);
+  const Tensor g = flat.backward(y);
+  EXPECT_TRUE(g.same_shape(x));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor logits({3, 5});
+  std::mt19937_64 rng(19);
+  std::normal_distribution<float> dist(0.0f, 3.0f);
+  for (std::size_t i = 0; i < logits.numel(); ++i) logits[i] = dist(rng);
+  const Tensor p = softmax(logits);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_GE(p[r * 5 + c], 0.0f);
+      s += p[r * 5 + c];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxXentTest, PerfectPredictionHasLowLoss) {
+  Tensor logits({1, 3});
+  logits[0] = 20.0f;
+  logits[1] = 0.0f;
+  logits[2] = 0.0f;
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-6);
+  EXPECT_EQ(r.predictions[0], 0);
+}
+
+TEST(SoftmaxXentTest, UniformLogitsGiveLogK) {
+  Tensor logits({1, 10});
+  const LossResult r = softmax_cross_entropy(logits, {4});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(SoftmaxXentTest, GradientIsProbsMinusOneHotOverN) {
+  Tensor logits({2, 3});
+  logits[0] = 1.0f;
+  logits[1] = 2.0f;
+  logits[2] = 0.5f;
+  logits[3] = -1.0f;
+  logits[4] = 0.0f;
+  logits[5] = 1.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1, 2});
+  for (std::size_t n = 0; n < 2; ++n)
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float expected =
+          (r.probs[n * 3 + c] - ((n == 0 && c == 1) || (n == 1 && c == 2) ? 1.0f : 0.0f)) / 2.0f;
+      EXPECT_NEAR(r.grad_logits[n * 3 + c], expected, 1e-6f);
+    }
+}
+
+TEST(SoftmaxXentTest, LabelValidation) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::logic_error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), std::logic_error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::logic_error);
+}
+
+TEST(ConfusionMatrixTest, AccuracyAndRates) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_NEAR(cm.accuracy(), 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(cm.rate(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.rate(2, 0), 1.0, 1e-12);
+  EXPECT_EQ(cm.count(1, 1), 1);
+  ConfusionMatrix other(3);
+  other.add(2, 2);
+  cm.merge(other);
+  EXPECT_EQ(cm.total(), 6);
+  EXPECT_THROW(cm.add(3, 0), std::logic_error);
+}
+
+TEST(SequentialTest, ParamAggregationAndZeroGrad) {
+  std::mt19937_64 rng(23);
+  Sequential model;
+  model.emplace<Dense>(4, 8, rng);
+  model.emplace<Selu>();
+  model.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(model.params().size(), 4u);  // 2 weights + 2 biases
+  EXPECT_EQ(model.num_trainable(), 4u * 8 + 8 + 8 * 2 + 2);
+  model.params()[0]->grad.fill(1.0f);
+  model.zero_grad();
+  EXPECT_EQ(model.params()[0]->grad.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace deepcsi::nn

@@ -1,0 +1,79 @@
+// VHT OFDM layout: the sub-carrier counts the paper quotes (234 sounded at
+// 80 MHz; 110- and 54-sub-carrier slices for channels 38 and 36).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "phy/ofdm.h"
+
+namespace deepcsi::phy {
+namespace {
+
+TEST(Vht80Test, Has234DataSubcarriers) {
+  EXPECT_EQ(vht80_sounded_subcarriers().size(), 234u);
+}
+
+TEST(Vht80Test, ExcludesDcPilotsAndGuards) {
+  const auto& sc = vht80_sounded_subcarriers();
+  const std::set<int> s(sc.begin(), sc.end());
+  for (int k : {-1, 0, 1}) EXPECT_FALSE(s.count(k)) << "DC region " << k;
+  for (int k : {-103, -75, -39, -11, 11, 39, 75, 103})
+    EXPECT_FALSE(s.count(k)) << "pilot " << k;
+  EXPECT_FALSE(s.count(-123));
+  EXPECT_FALSE(s.count(123));
+  EXPECT_TRUE(s.count(-122));
+  EXPECT_TRUE(s.count(122));
+  EXPECT_TRUE(s.count(2));
+  EXPECT_TRUE(s.count(-2));
+}
+
+TEST(Vht80Test, AscendingAndSymmetric) {
+  const auto& sc = vht80_sounded_subcarriers();
+  EXPECT_TRUE(std::is_sorted(sc.begin(), sc.end()));
+  // The sounded set is symmetric: k present iff -k present.
+  const std::set<int> s(sc.begin(), sc.end());
+  for (int k : sc) EXPECT_TRUE(s.count(-k)) << k;
+}
+
+TEST(SubbandTest, CountsMatchPaper) {
+  EXPECT_EQ(vht80_subband(Band::k80MHz).size(), 234u);
+  EXPECT_EQ(vht80_subband(Band::k40MHz).size(), 110u);
+  EXPECT_EQ(vht80_subband(Band::k20MHz).size(), 54u);
+}
+
+TEST(SubbandTest, SlicesAreSubsetsOfThe80MHzGrid) {
+  const auto& all = vht80_sounded_subcarriers();
+  const std::set<int> s(all.begin(), all.end());
+  for (Band b : {Band::k40MHz, Band::k20MHz})
+    for (int k : vht80_subband(b)) EXPECT_TRUE(s.count(k)) << k;
+}
+
+TEST(SubbandTest, NarrowBandsCoverContiguousSpectrum) {
+  // Channel 38 occupies the lower 40 MHz, channel 36 the lowest quarter.
+  const auto b40 = vht80_subband(Band::k40MHz);
+  EXPECT_LT(b40.back(), 0);
+  EXPECT_GE(b40.front(), -122);
+  const auto b20 = vht80_subband(Band::k20MHz);
+  EXPECT_LE(b20.back(), -64);
+}
+
+TEST(SubbandPositionsTest, PositionsIndexIntoTheFullGrid) {
+  const auto& all = vht80_sounded_subcarriers();
+  for (Band b : {Band::k80MHz, Band::k40MHz, Band::k20MHz}) {
+    const auto sel = vht80_subband(b);
+    const auto pos = subband_positions(b);
+    ASSERT_EQ(sel.size(), pos.size());
+    for (std::size_t i = 0; i < sel.size(); ++i)
+      EXPECT_EQ(all[pos[i]], sel[i]);
+  }
+}
+
+TEST(SubcarrierOffsetTest, SpacingIs312_5kHz) {
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(0), 0.0);
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(1), 312.5e3);
+  EXPECT_DOUBLE_EQ(subcarrier_offset_hz(-122), -122 * 312.5e3);
+}
+
+}  // namespace
+}  // namespace deepcsi::phy

@@ -1,0 +1,161 @@
+// Eq. (8) quantization: grid placement, wrap/clamp behavior, error bounds,
+// and the error-propagation ordering across spatial streams that drives
+// Fig. 13 / Fig. 15.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "feedback/quantizer.h"
+#include "linalg/svd.h"
+
+namespace deepcsi::feedback {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(QuantGridTest, PhiGridMatchesEquation8) {
+  for (int b : {7, 9}) {
+    EXPECT_NEAR(dequantize_phi(0, b), kPi / (1 << b), 1e-15);
+    const double step = kPi / (1 << (b - 1));
+    for (std::uint16_t q = 1; q < 8; ++q)
+      EXPECT_NEAR(dequantize_phi(q, b) - dequantize_phi(q - 1, b), step, 1e-12);
+    // Top of the grid stays below 2 pi.
+    EXPECT_LT(dequantize_phi(static_cast<std::uint16_t>((1 << b) - 1), b),
+              2.0 * kPi);
+  }
+}
+
+TEST(QuantGridTest, PsiGridMatchesEquation8) {
+  for (int b : {5, 7}) {
+    EXPECT_NEAR(dequantize_psi(0, b), kPi / (1 << (b + 2)), 1e-15);
+    const double step = kPi / (1 << (b + 1));
+    for (std::uint16_t q = 1; q < 8; ++q)
+      EXPECT_NEAR(dequantize_psi(q, b) - dequantize_psi(q - 1, b), step, 1e-12);
+    EXPECT_LT(dequantize_psi(static_cast<std::uint16_t>((1 << b) - 1), b),
+              kPi / 2.0);
+  }
+}
+
+TEST(QuantizerTest, RoundTripErrorBounded) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> uphi(0.0, 2.0 * kPi);
+  std::uniform_real_distribution<double> upsi(0.0, kPi / 2.0);
+  for (int b_phi : {7, 9}) {
+    const double half_step = kPi / (1 << b_phi);
+    for (int t = 0; t < 500; ++t) {
+      const double phi = uphi(rng);
+      const double rec = dequantize_phi(quantize_phi(phi, b_phi), b_phi);
+      const double err = std::abs(std::remainder(rec - phi, 2.0 * kPi));
+      EXPECT_LE(err, half_step + 1e-12);
+    }
+  }
+  for (int b_psi : {5, 7}) {
+    const double half_step = kPi / (1 << (b_psi + 2));
+    for (int t = 0; t < 500; ++t) {
+      const double psi = upsi(rng);
+      const double rec = dequantize_psi(quantize_psi(psi, b_psi), b_psi);
+      EXPECT_LE(std::abs(rec - psi), half_step + 1e-12);
+    }
+  }
+}
+
+TEST(QuantizerTest, PhiWrapsAroundModulo2Pi) {
+  const int b = 7;
+  // The Eq. (8) grid is offset half a step from 0, so an angle just below
+  // 2 pi may land on the last grid point or wrap to index 0 — either way
+  // the wrap-aware error stays within half a step.
+  const double phi = 2.0 * kPi - 1e-6;
+  const std::uint16_t q = quantize_phi(phi, b);
+  EXPECT_TRUE(q == 0 || q == (1 << b) - 1) << q;
+  const double err =
+      std::abs(std::remainder(dequantize_phi(q, b) - phi, 2.0 * kPi));
+  EXPECT_LE(err, kPi / (1 << b) + 1e-12);
+  // Negative inputs wrap to the equivalent positive angle.
+  EXPECT_EQ(quantize_phi(-0.1, b), quantize_phi(2.0 * kPi - 0.1, b));
+  // Multiples of 2 pi beyond the principal range wrap as well.
+  EXPECT_EQ(quantize_phi(1.0 + 4.0 * kPi, b), quantize_phi(1.0, b));
+}
+
+TEST(QuantizerTest, PsiClampsAtGridEnds) {
+  const int b = 5;
+  EXPECT_EQ(quantize_psi(0.0, b), 0);
+  EXPECT_EQ(quantize_psi(kPi / 2.0, b), (1 << b) - 1);
+  EXPECT_EQ(quantize_psi(10.0, b), (1 << b) - 1);  // out-of-range clamps
+}
+
+TEST(QuantizerTest, MoreBitsNeverWorse) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> uphi(0.0, 2.0 * kPi);
+  double err7 = 0.0, err9 = 0.0;
+  for (int t = 0; t < 2000; ++t) {
+    const double phi = uphi(rng);
+    err7 += std::abs(std::remainder(
+        dequantize_phi(quantize_phi(phi, 7), 7) - phi, 2.0 * kPi));
+    err9 += std::abs(std::remainder(
+        dequantize_phi(quantize_phi(phi, 9), 9) - phi, 2.0 * kPi));
+  }
+  EXPECT_LT(err9, err7);
+}
+
+TEST(QuantizerTest, CodebooksMatchStandard) {
+  EXPECT_EQ(mu_mimo_codebook_high().b_phi, 9);
+  EXPECT_EQ(mu_mimo_codebook_high().b_psi, 7);
+  EXPECT_EQ(mu_mimo_codebook_low().b_phi, 7);
+  EXPECT_EQ(mu_mimo_codebook_low().b_psi, 5);
+}
+
+TEST(QuantizerTest, DequantizeRejectsOutOfRangeIndex) {
+  EXPECT_THROW(dequantize_phi(1 << 7, 7), std::logic_error);
+  EXPECT_THROW(dequantize_psi(1 << 5, 5), std::logic_error);
+}
+
+linalg::CMat random_v(std::size_t m, std::size_t nss, std::mt19937_64& rng) {
+  return linalg::svd(linalg::CMat::random_gaussian(m, m, rng))
+      .v.first_columns(nss);
+}
+
+TEST(QuantizedVtildeTest, CloseToUnquantizedVtilde) {
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 50; ++t) {
+    const linalg::CMat v = random_v(3, 2, rng);
+    const linalg::CMat exact = reconstruct_v(decompose_v(v));
+    const linalg::CMat quant = quantized_vtilde(v, mu_mimo_codebook_high());
+    EXPECT_LT(linalg::max_abs_diff(exact, quant), 0.05);
+  }
+}
+
+TEST(QuantizedVtildeTest, HighCodebookBeatsLowCodebook) {
+  // Fig. 13: (7,9) reconstructs better than (5,7).
+  std::mt19937_64 rng(6);
+  double err_low = 0.0, err_high = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const linalg::CMat v = random_v(3, 2, rng);
+    const linalg::CMat exact = reconstruct_v(decompose_v(v));
+    err_low +=
+        linalg::max_abs_diff(exact, quantized_vtilde(v, mu_mimo_codebook_low()));
+    err_high += linalg::max_abs_diff(
+        exact, quantized_vtilde(v, mu_mimo_codebook_high()));
+  }
+  EXPECT_LT(err_high, err_low);
+}
+
+TEST(QuantizedVtildeTest, SecondStreamErrorExceedsFirst) {
+  // The recursion of Algorithm 1 propagates quantization error from the
+  // first reconstructed stream into the later ones (Sec. V / Fig. 13).
+  std::mt19937_64 rng(7);
+  double err_s0 = 0.0, err_s1 = 0.0;
+  for (int t = 0; t < 400; ++t) {
+    const linalg::CMat v = random_v(3, 2, rng);
+    const linalg::CMat exact = reconstruct_v(decompose_v(v));
+    const linalg::CMat quant = quantized_vtilde(v, mu_mimo_codebook_high());
+    for (std::size_t r = 0; r < 3; ++r) {
+      err_s0 += std::abs(exact(r, 0) - quant(r, 0));
+      err_s1 += std::abs(exact(r, 1) - quant(r, 1));
+    }
+  }
+  EXPECT_GT(err_s1, err_s0);
+}
+
+}  // namespace
+}  // namespace deepcsi::feedback

@@ -1,0 +1,129 @@
+// Device registry and windowed vote authentication.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "dataset/features.h"
+
+namespace deepcsi::core {
+namespace {
+
+TEST(DeviceRegistryTest, EnrollLookupRevoke) {
+  DeviceRegistry reg;
+  const auto mac2 = capture::MacAddress::for_module(2);
+  const auto mac5 = capture::MacAddress::for_module(5);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.expected_module(mac2).has_value());
+
+  reg.enroll(mac2, 2);
+  reg.enroll(mac5, 5);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.expected_module(mac2).value(), 2);
+  EXPECT_EQ(reg.expected_module(mac5).value(), 5);
+
+  reg.enroll(mac2, 7);  // re-enrollment replaces
+  EXPECT_EQ(reg.expected_module(mac2).value(), 7);
+  EXPECT_EQ(reg.size(), 2u);
+
+  reg.revoke(mac2);
+  EXPECT_FALSE(reg.expected_module(mac2).has_value());
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+class VoteAuthenticatorTest : public ::testing::Test {
+ protected:
+  VoteAuthenticatorTest() {
+    // Train a tiny 2-module classifier on real trace reports.
+    const dataset::Scale scale{6, 6, 12};
+    dataset::GeneratorConfig gen;
+    spec_.subcarrier_stride = 12;
+    for (int module : {0, 1})
+      traces_.push_back(dataset::generate_d1_trace(module, 1, 0, scale, gen));
+    nn::LabeledSet train = dataset::make_labeled_set(traces_, spec_);
+    dataset::shuffle_labeled_set(train, 3);
+
+    ExperimentConfig cfg = quick_experiment_config();
+    cfg.model.filters = 8;
+    cfg.model.conv_layers = 2;
+    cfg.model.dense = {16, 8};
+    cfg.model.dropout = {0.1f, 0.1f};
+    cfg.train.epochs = 40;
+    cfg.train.batch_size = 4;
+    cfg.train.val_fraction = 0.0;
+    dataset::SplitSets split{train, train};
+    auth_ = std::make_unique<Authenticator>(
+        train_authenticator(split, spec_, cfg));
+
+    registry_.enroll(capture::MacAddress::for_module(0), 0);
+    registry_.enroll(capture::MacAddress::for_module(1), 1);
+  }
+
+  capture::ObservedFeedback observe_from(int hardware_module,
+                                         int claimed_module,
+                                         std::size_t snap) const {
+    capture::ObservedFeedback obs;
+    obs.timestamp_s = static_cast<double>(snap);
+    obs.beamformee = capture::MacAddress::for_station(0);
+    obs.beamformer = capture::MacAddress::for_module(claimed_module);
+    obs.report =
+        traces_[static_cast<std::size_t>(hardware_module)].snapshots[snap].report;
+    return obs;
+  }
+
+  dataset::InputSpec spec_;
+  std::vector<dataset::Trace> traces_;
+  std::unique_ptr<Authenticator> auth_;
+  DeviceRegistry registry_;
+};
+
+TEST_F(VoteAuthenticatorTest, AuthenticDeviceAccepted) {
+  VoteAuthenticator votes(*auth_, registry_, 5);
+  VoteAuthenticator::Verdict verdict = VoteAuthenticator::Verdict::kUndecided;
+  for (std::size_t s = 0; s < 6; ++s)
+    verdict = votes.observe(observe_from(0, 0, s));
+  EXPECT_EQ(verdict, VoteAuthenticator::Verdict::kAuthentic);
+  const auto vote = votes.current_vote(capture::MacAddress::for_module(0));
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(vote->first, 0);
+  EXPECT_GT(vote->second, 0.5);
+}
+
+TEST_F(VoteAuthenticatorTest, SpoofedMacFlagged) {
+  VoteAuthenticator votes(*auth_, registry_, 5);
+  // Module 1's hardware claims module 0's MAC.
+  VoteAuthenticator::Verdict verdict = VoteAuthenticator::Verdict::kUndecided;
+  for (std::size_t s = 0; s < 6; ++s)
+    verdict = votes.observe(observe_from(1, 0, s));
+  EXPECT_EQ(verdict, VoteAuthenticator::Verdict::kSpoofed);
+  EXPECT_GT(votes.counts().spoofed, 0);
+}
+
+TEST_F(VoteAuthenticatorTest, UnknownMacReported) {
+  VoteAuthenticator votes(*auth_, registry_, 5);
+  const auto verdict = votes.observe(observe_from(0, 9, 0));
+  EXPECT_EQ(verdict, VoteAuthenticator::Verdict::kUnknownDevice);
+  EXPECT_EQ(votes.counts().unknown, 1);
+}
+
+TEST_F(VoteAuthenticatorTest, UndecidedUntilWindowWarm) {
+  VoteAuthenticator votes(*auth_, registry_, 5);
+  EXPECT_EQ(votes.observe(observe_from(0, 0, 0)),
+            VoteAuthenticator::Verdict::kUndecided);
+  EXPECT_EQ(votes.observe(observe_from(0, 0, 1)),
+            VoteAuthenticator::Verdict::kUndecided);
+  EXPECT_NE(votes.observe(observe_from(0, 0, 2)),
+            VoteAuthenticator::Verdict::kUndecided);
+}
+
+TEST_F(VoteAuthenticatorTest, WindowSlides) {
+  VoteAuthenticator votes(*auth_, registry_, 3);
+  // Warm with authentic frames, then flood with spoofed ones: the window
+  // must forget the old evidence.
+  for (std::size_t s = 0; s < 3; ++s) votes.observe(observe_from(0, 0, s));
+  VoteAuthenticator::Verdict verdict = VoteAuthenticator::Verdict::kUndecided;
+  for (std::size_t s = 0; s < 4; ++s)
+    verdict = votes.observe(observe_from(1, 0, s));
+  EXPECT_EQ(verdict, VoteAuthenticator::Verdict::kSpoofed);
+}
+
+}  // namespace
+}  // namespace deepcsi::core

@@ -1,0 +1,160 @@
+// NDP sounding / Hhat estimation (Eq. 9-10): noise scaling, impairment
+// injection, and the invariances that decide what can be a fingerprint.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "feedback/angles.h"
+#include "phy/channel.h"
+#include "phy/sounding.h"
+
+namespace deepcsi::phy {
+namespace {
+
+class SoundingTest : public ::testing::Test {
+ protected:
+  SoundingTest() : scene_(0), model_(scene_) {
+    truth_ = model_.cfr(scene_.ap_position_a(),
+                        scene_.beamformee_position(0, 3), 3, 2,
+                        vht80_sounded_subcarriers(), {}, {0.0, 0.0}, rng_);
+    tx_ = make_module_profile(0, 3);
+    rx_ = make_beamformee_profile(0, 2);
+    ctx_ = make_trace_context(tx_, 7);
+  }
+
+  std::mt19937_64 rng_{42};
+  Scene scene_;
+  ChannelModel model_;
+  Cfr truth_;
+  ModuleProfile tx_;
+  BeamformeeProfile rx_;
+  TraceContext ctx_;
+};
+
+TEST_F(SoundingTest, ShapePreserved) {
+  SoundingNoise noise;
+  const Cfr est = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, rng_);
+  ASSERT_EQ(est.h.size(), truth_.h.size());
+  EXPECT_EQ(est.subcarriers, truth_.subcarriers);
+}
+
+TEST_F(SoundingTest, EstimateApproachesScaledTruthAtHighSnr) {
+  // At very high SNR the estimate differs from the truth only by the
+  // (bounded) hardware responses: the relative deviation stays moderate.
+  SoundingNoise noise;
+  noise.snr_db = 80.0;
+  const Cfr est = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, rng_);
+  double num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < est.h.size(); ++k) {
+    for (std::size_t m = 0; m < 3; ++m)
+      for (std::size_t n = 0; n < 2; ++n) {
+        num += std::abs(std::abs(est.h[k](m, n)) - std::abs(truth_.h[k](m, n)));
+        den += std::abs(truth_.h[k](m, n));
+      }
+  }
+  EXPECT_LT(num / den, 0.35);  // gains/ripple stay within ~35% on average
+}
+
+TEST_F(SoundingTest, NoiseScalesWithSnr) {
+  // Two estimates drawn with the same per-packet seed differ only by the
+  // AWGN realization; lower SNR must produce a larger spread.
+  auto spread = [&](double snr_db) {
+    SoundingNoise noise;
+    noise.snr_db = snr_db;
+    std::mt19937_64 r1(5), r2(5);
+    const Cfr a = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, r1);
+    std::mt19937_64 r3(1234);
+    const Cfr b = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, r3);
+    double d = 0.0;
+    for (std::size_t k = 0; k < a.h.size(); ++k)
+      d += (a.h[k] - b.h[k]).frobenius_norm();
+    return d;
+  };
+  EXPECT_GT(spread(10.0), spread(40.0));
+}
+
+TEST_F(SoundingTest, DeterministicGivenSeeds) {
+  SoundingNoise noise;
+  std::mt19937_64 r1(9), r2(9);
+  const Cfr a = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, r1);
+  const Cfr b = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, r2);
+  for (std::size_t k = 0; k < a.h.size(); ++k)
+    EXPECT_LT(linalg::max_abs_diff(a.h[k], b.h[k]), 1e-15);
+}
+
+TEST_F(SoundingTest, TraceContextDeterministicAndPerTrace) {
+  const TraceContext c1 = make_trace_context(tx_, 7);
+  const TraceContext c2 = make_trace_context(tx_, 7);
+  const TraceContext c3 = make_trace_context(tx_, 8);
+  EXPECT_EQ(c1.chain_phase_drift, c2.chain_phase_drift);
+  EXPECT_EQ(c1.cfo_trace_offset_hz, c2.cfo_trace_offset_hz);
+  EXPECT_NE(c1.chain_phase_drift, c3.chain_phase_drift);
+  EXPECT_EQ(c1.chain_phase_drift.size(), 3u);
+}
+
+TEST_F(SoundingTest, VtildeStableAcrossPacketsDespiteCommonOffsets) {
+  // Per-packet nuisances (PPO, PDD, PA, common CFO phase) churn Hhat from
+  // packet to packet, yet the derived Vtilde must stay nearly constant at
+  // high SNR — this is the paper's core robustness claim.
+  SoundingNoise noise;
+  noise.snr_db = 60.0;
+  std::mt19937_64 ra(1), rb(2);
+  const Cfr ha = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, ra);
+  const Cfr hb = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, rb);
+
+  // Hhat itself differs strongly across packets...
+  double h_diff = 0.0, h_norm = 0.0;
+  for (std::size_t k = 0; k < ha.h.size(); ++k) {
+    h_diff += (ha.h[k] - hb.h[k]).frobenius_norm();
+    h_norm += ha.h[k].frobenius_norm();
+  }
+  EXPECT_GT(h_diff, 0.2 * h_norm);
+
+  // ... but the normalized Vtilde barely moves.
+  const auto va = feedback::beamforming_v(ha.h, 2);
+  const auto vb = feedback::beamforming_v(hb.h, 2);
+  double v_diff = 0.0;
+  for (std::size_t k = 0; k < va.size(); ++k) {
+    const auto ta = feedback::reconstruct_v(feedback::decompose_v(va[k]));
+    const auto tb = feedback::reconstruct_v(feedback::decompose_v(vb[k]));
+    v_diff += linalg::max_abs_diff(ta, tb);
+  }
+  // Residual churn comes from per-packet CFO jitter entering the per-chain
+  // LTF slot ramp (a genuinely per-chain term), not from common offsets.
+  EXPECT_LT(v_diff / static_cast<double>(va.size()), 0.12);
+}
+
+TEST_F(SoundingTest, DifferentModulesYieldDifferentVtilde) {
+  // The discriminative signal: with the channel held fixed, swapping the
+  // Wi-Fi module must move Vtilde by more than the packet-to-packet noise.
+  SoundingNoise noise;
+  noise.snr_db = 60.0;
+  const ModuleProfile tx2 = make_module_profile(1, 3);
+  const TraceContext ctx2 = make_trace_context(tx2, 7);
+  std::mt19937_64 ra(1), rb(1);
+  const Cfr ha = estimate_cfr(tx_, ctx_, rx_, truth_, 3, 2, noise, ra);
+  const Cfr hb = estimate_cfr(tx2, ctx2, rx_, truth_, 3, 2, noise, rb);
+  const auto va = feedback::beamforming_v(ha.h, 2);
+  const auto vb = feedback::beamforming_v(hb.h, 2);
+  double v_diff = 0.0;
+  for (std::size_t k = 0; k < va.size(); ++k) {
+    const auto ta = feedback::reconstruct_v(feedback::decompose_v(va[k]));
+    const auto tb = feedback::reconstruct_v(feedback::decompose_v(vb[k]));
+    v_diff += linalg::max_abs_diff(ta, tb);
+  }
+  EXPECT_GT(v_diff / static_cast<double>(va.size()), 0.1);
+}
+
+TEST_F(SoundingTest, ArgumentValidation) {
+  SoundingNoise noise;
+  EXPECT_THROW(estimate_cfr(tx_, ctx_, rx_, truth_, 4, 2, noise, rng_),
+               std::logic_error);
+  EXPECT_THROW(estimate_cfr(tx_, ctx_, rx_, truth_, 3, 3, noise, rng_),
+               std::logic_error);
+  Cfr empty;
+  EXPECT_THROW(estimate_cfr(tx_, ctx_, rx_, empty, 3, 2, noise, rng_),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace deepcsi::phy

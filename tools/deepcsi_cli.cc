@@ -1,0 +1,235 @@
+// deepcsi — command-line front end for the library.
+//
+//   deepcsi generate --out DIR [--modules M] [--positions P] [--snapshots N]
+//       Simulate a D1-style campaign and write a trace archive (.dcst).
+//   deepcsi train --data FILE.dcst --out MODEL.bin [--epochs E] [--stride S]
+//       Train the fingerprint classifier on an archive.
+//   deepcsi classify --model MODEL.bin --pcap FILE.pcap [--stride S]
+//       Run the observer on a capture: parse frames, fingerprint each
+//       feedback report, print per-frame predictions and the majority vote.
+//   deepcsi inspect --pcap FILE.pcap
+//       Decode VHT Compressed Beamforming frames (Wireshark-style).
+//
+// The tool works on the same artifacts the examples produce (e.g.
+// examples/dataset_export emits .dcst archives and per-trace pcaps).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/monitor.h"
+#include "core/pipeline.h"
+#include "dataset/io.h"
+#include "dataset/splits.h"
+#include "nn/serialize.h"
+
+namespace {
+
+using namespace deepcsi;
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool has(const std::string& k) const { return named.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& fallback = "") const {
+    const auto it = named.find(k);
+    return it == named.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& k, int fallback) const {
+    const auto it = named.find(k);
+    return it == named.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+      std::exit(2);
+    }
+    args.named[key] = argv[++i];
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: deepcsi <generate|train|classify|inspect> [options]\n"
+               "  generate --out DIR [--modules M=10] [--positions P=3] "
+               "[--snapshots N=12] [--seed S=17]\n"
+               "  train    --data FILE.dcst --out MODEL.bin [--epochs E=18] "
+               "[--stride S=2] [--filters F=32]\n"
+               "  classify --model MODEL.bin --pcap FILE.pcap [--stride S=2] "
+               "[--filters F=32]\n"
+               "  inspect  --pcap FILE.pcap [--max N=5]\n");
+  return 2;
+}
+
+dataset::InputSpec spec_from(const Args& args) {
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = args.get_int("stride", 2);
+  return spec;
+}
+
+core::ExperimentConfig config_from(const Args& args) {
+  core::ExperimentConfig cfg = core::quick_experiment_config();
+  cfg.train.epochs = args.get_int("epochs", cfg.train.epochs);
+  cfg.model.filters = args.get_int("filters", cfg.model.filters);
+  return cfg;
+}
+
+int cmd_generate(const Args& args) {
+  if (!args.has("out")) return usage();
+  const int modules = args.get_int("modules", 10);
+  const int positions = args.get_int("positions", 3);
+  const int snapshots = args.get_int("snapshots", 12);
+  if (modules < 1 || modules > phy::kNumModules || positions < 1 ||
+      positions > phy::kNumBeamformeePositions || snapshots < 1) {
+    std::fprintf(stderr, "generate: parameters out of range\n");
+    return 2;
+  }
+  dataset::Scale scale;
+  scale.d1_snapshots_per_trace = snapshots;
+  dataset::GeneratorConfig gen;
+  gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
+
+  std::vector<dataset::Trace> corpus;
+  for (int module = 0; module < modules; ++module)
+    for (int pos = 1; pos <= positions; ++pos)
+      corpus.push_back(dataset::generate_d1_trace(module, pos, 0, scale, gen));
+
+  const std::string path = args.get("out") + "/deepcsi_corpus.dcst";
+  dataset::save_traces(path, corpus);
+  std::printf("generate: %zu traces (%d modules x %d positions, %d "
+              "snapshots each) -> %s\n",
+              corpus.size(), modules, positions, snapshots, path.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (!args.has("data") || !args.has("out")) return usage();
+  const auto corpus = dataset::load_traces(args.get("data"));
+  const dataset::InputSpec spec = spec_from(args);
+  nn::LabeledSet train = dataset::make_labeled_set(corpus, spec);
+  dataset::shuffle_labeled_set(train, 97);
+  std::printf("train: %zu reports from %zu traces\n", train.size(),
+              corpus.size());
+
+  const core::ExperimentConfig cfg = config_from(args);
+  dataset::SplitSets split{train, train};
+  core::Authenticator auth = core::train_authenticator(split, spec, cfg);
+
+  const auto cm = nn::evaluate(auth.model(), train);
+  std::printf("train: final training-set accuracy %.1f%%\n",
+              100.0 * cm.accuracy());
+  auth.save(args.get("out"));
+  // Sidecar metadata so `classify` can rebuild the same architecture
+  // without the user re-passing flags.
+  const std::string meta_path = args.get("out") + ".meta";
+  if (std::FILE* meta = std::fopen(meta_path.c_str(), "w")) {
+    std::fprintf(meta, "filters=%d\nstride=%d\n", cfg.model.filters,
+                 spec.subcarrier_stride);
+    std::fclose(meta);
+  }
+  std::printf("train: weights written to %s (+ .meta)\n",
+              args.get("out").c_str());
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  if (!args.has("model") || !args.has("pcap")) return usage();
+  // Prefer the training-time architecture recorded next to the weights;
+  // explicit flags still override.
+  Args effective = args;
+  if (std::FILE* meta = std::fopen((args.get("model") + ".meta").c_str(), "r")) {
+    char key[32];
+    int value = 0;
+    while (std::fscanf(meta, "%31[^=]=%d\n", key, &value) == 2) {
+      if (!effective.has(key)) effective.named[key] = std::to_string(value);
+    }
+    std::fclose(meta);
+  }
+  const dataset::InputSpec spec = spec_from(effective);
+  const core::ExperimentConfig cfg = config_from(effective);
+
+  nn::Sequential model = core::build_deepcsi_model(
+      dataset::num_input_channels(spec),
+      static_cast<int>(dataset::num_input_columns(spec)), phy::kNumModules,
+      cfg.model);
+  core::Authenticator auth(std::move(model), spec);
+  auth.load(args.get("model"));
+
+  const auto packets = capture::read_pcap(args.get("pcap"));
+  const auto observed = capture::observe_feedback(packets, std::nullopt);
+  if (observed.empty()) {
+    std::printf("classify: no decodable beamforming feedback in capture\n");
+    return 1;
+  }
+  std::map<int, int> votes;
+  for (const auto& obs : observed) {
+    const auto pred = auth.classify(obs.report);
+    ++votes[pred.module_id];
+    std::printf("  t=%8.3fs  %s -> %s : module %d (confidence %.2f)\n",
+                obs.timestamp_s, obs.beamformee.to_string().c_str(),
+                obs.beamformer.to_string().c_str(), pred.module_id,
+                pred.confidence);
+  }
+  int best = -1, best_count = 0;
+  for (const auto& [id, count] : votes)
+    if (count > best_count) {
+      best = id;
+      best_count = count;
+    }
+  std::printf("classify: majority vote -> module %d (%d/%zu frames)\n", best,
+              best_count, observed.size());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (!args.has("pcap")) return usage();
+  const int max_frames = args.get_int("max", 5);
+  const auto packets = capture::read_pcap(args.get("pcap"));
+  int shown = 0;
+  for (const auto& p : packets) {
+    const auto frame = capture::BeamformingActionFrame::parse(p.bytes);
+    if (!frame) continue;
+    const auto& mc = frame->mimo_control;
+    std::printf(
+        "frame t=%8.3fs  TA=%s RA=%s  Nc=%d Nr=%d BW=%d codebook=(%d,%d) "
+        "report=%zuB\n",
+        p.timestamp_s, frame->ta.to_string().c_str(),
+        frame->ra.to_string().c_str(), mc.nc, mc.nr, mc.bandwidth,
+        mc.quant_config().b_psi, mc.quant_config().b_phi,
+        frame->report.size());
+    if (++shown >= max_frames) break;
+  }
+  std::printf("inspect: %d beamforming frames shown (of %zu packets)\n",
+              shown, packets.size());
+  return shown > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "classify") return cmd_classify(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deepcsi %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
