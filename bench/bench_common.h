@@ -8,8 +8,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.h"
 #include "core/pipeline.h"
 #include "dataset/scale.h"
 #include "dataset/splits.h"
@@ -27,6 +32,59 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable companion to the printed rows: collects metrics and
+// writes BENCH_<name>.json next to the binary, one object per metric with
+// numeric attributes (thread count, batch size, ...). This seeds the
+// repo's perf trajectory — CI archives the file per commit.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void add_metric(
+      const std::string& metric, double value, const std::string& unit,
+      std::vector<std::pair<std::string, double>> attrs = {}) {
+    metrics_.push_back({metric, unit, value, std::move(attrs)});
+  }
+
+  std::string to_json() const {
+    std::ostringstream os;
+    os.precision(17);  // round-trip doubles: the trajectory must not quantize
+    os << "{\n  \"bench\": \"" << name_ << "\",\n"
+       << "  \"scale\": \""
+       << (dataset::full_scale_selected() ? "full" : "quick") << "\",\n"
+       << "  \"default_threads\": " << common::num_threads() << ",\n"
+       << "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      os << "    {\"name\": \"" << m.name << "\", \"unit\": \"" << m.unit
+         << "\", \"value\": " << m.value;
+      for (const auto& [k, v] : m.attrs) os << ", \"" << k << "\": " << v;
+      os << "}" << (i + 1 < metrics_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+  }
+
+  // Writes BENCH_<name>.json in the working directory.
+  void write_json() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << to_json();
+    out.flush();
+    std::printf(out ? "wrote %s\n" : "FAILED to write %s\n", path.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  struct Metric {
+    std::string name, unit;
+    double value;
+    std::vector<std::pair<std::string, double>> attrs;
+  };
+  std::string name_;
+  std::vector<Metric> metrics_;
 };
 
 inline void print_header(const std::string& figure, const std::string& what) {

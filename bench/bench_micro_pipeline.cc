@@ -2,14 +2,26 @@
 // deployability claim ("the trained learning algorithm can be run to
 // perform online inference on low-cost Wi-Fi devices"): SVD, Algorithm 1,
 // quantization, frame codec, feature assembly, and CNN inference latency.
+//
+// Before the Google-Benchmark section, main() runs the serving-throughput
+// comparison — per-report classify() vs classify_batch() across thread
+// counts — prints samples/s rows, checks the outputs are bit-identical,
+// and writes BENCH_micro_pipeline.json for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <random>
+#include <vector>
 
+#include "bench_common.h"
 #include "capture/vht_frame.h"
+#include "common/parallel.h"
 #include "core/model.h"
 #include "core/pipeline.h"
+#include "dataset/features.h"
 #include "dataset/splits.h"
+#include "dataset/traces.h"
 #include "feedback/bitpack.h"
 #include "linalg/svd.h"
 #include "nn/loss.h"
@@ -175,4 +187,102 @@ void BM_CnnInferenceQuickModel(benchmark::State& state) {
 }
 BENCHMARK(BM_CnnInferenceQuickModel);
 
+// ---------------------------------------------------------------------
+// Serving throughput: single-report classify() vs classify_batch() across
+// thread counts. Returns false if any configuration's predictions differ
+// bitwise from the 1-thread single-report reference.
+bool run_serving_throughput(bench::BenchReport& report) {
+  const dataset::Scale scale = dataset::scale_from_env();
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = scale.subcarrier_stride;
+  const core::ModelConfig model_cfg = dataset::full_scale_selected()
+                                          ? core::paper_model_config()
+                                          : core::quick_model_config();
+  const int channels = dataset::num_input_channels(spec);
+  const int width = static_cast<int>(dataset::num_input_columns(spec));
+  core::Authenticator auth(
+      core::build_deepcsi_model(channels, width, phy::kNumModules, model_cfg),
+      spec);
+
+  // A pool of distinct reports from two modules, tiled up to the batch.
+  std::vector<feedback::CompressedFeedbackReport> reports;
+  for (int module : {0, 1}) {
+    const dataset::Trace trace =
+        dataset::generate_d1_trace(module, 1, 0, scale, {});
+    for (const dataset::Snapshot& s : trace.snapshots)
+      reports.push_back(s.report);
+  }
+  std::size_t batch = 128;
+  if (const char* s = std::getenv("DEEPCSI_BENCH_BATCH")) {
+    const long v = std::atol(s);
+    if (v >= 1) batch = static_cast<std::size_t>(v);
+  }
+  const std::size_t distinct = reports.size();
+  for (std::size_t i = distinct; i < batch; ++i)
+    reports.push_back(reports[i % distinct]);
+  reports.resize(batch);
+
+  const int original_threads = common::num_threads();
+  std::vector<core::Authenticator::Prediction> reference;
+  double single_1t = 0.0;
+  bool identical = true;
+
+  std::printf("serving throughput (%zu reports, %s model)\n", batch,
+              dataset::full_scale_selected() ? "paper" : "quick");
+  std::printf("%-8s %8s %14s %10s  %s\n", "mode", "threads", "samples/s",
+              "speedup", "vs 1-thread single");
+  for (const int threads : {1, 2, 4}) {
+    common::set_num_threads(threads);
+    for (const bool batched : {false, true}) {
+      std::vector<core::Authenticator::Prediction> preds;
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        bench::Stopwatch timer;
+        if (batched) {
+          preds = auth.classify_batch(reports);
+        } else {
+          preds.clear();
+          for (const auto& r : reports) preds.push_back(auth.classify(r));
+        }
+        const double rate = static_cast<double>(batch) / timer.seconds();
+        if (rate > best) best = rate;
+      }
+      if (reference.empty()) {
+        reference = preds;
+        single_1t = best;
+      }
+      for (std::size_t i = 0; i < preds.size(); ++i)
+        if (preds[i].module_id != reference[i].module_id ||
+            preds[i].confidence != reference[i].confidence)
+          identical = false;
+      std::printf("%-8s %8d %14.1f %9.2fx\n", batched ? "batch" : "single",
+                  threads, best, best / single_1t);
+      report.add_metric("inference_throughput", best, "samples/s",
+                        {{"threads", threads},
+                         {"batched", batched ? 1.0 : 0.0},
+                         {"batch_size", static_cast<double>(batch)}});
+    }
+  }
+  common::set_num_threads(original_threads);
+  std::printf("outputs bit-identical across all configurations: %s\n\n",
+              identical ? "yes" : "NO");
+  report.add_metric("outputs_bit_identical", identical ? 1.0 : 0.0, "bool");
+  std::fflush(stdout);
+  return identical;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("micro pipeline",
+                      "per-packet stage latencies and serving throughput");
+  bench::BenchReport report("micro_pipeline");
+  const bool identical = run_serving_throughput(report);
+  report.write_json();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Shared parallel-execution subsystem: a lazily-initialized global thread
+// pool behind a deterministic parallel_for.
+//
+// Determinism contract: the index range is split into fixed-size chunks
+// whose boundaries depend only on (begin, end, grain) — never on the
+// thread count — and every index is visited exactly once. As long as each
+// chunk writes disjoint data and iterates its indices in ascending order,
+// results are bit-identical for any DEEPCSI_THREADS value (the NN kernels
+// additionally keep a fixed per-element accumulation order, so the same
+// holds through floating-point rounding).
+//
+// Sizing: DEEPCSI_THREADS env var; unset/invalid falls back to
+// std::thread::hardware_concurrency(). set_num_threads() resizes at
+// runtime (used by tests and benches to compare thread counts).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace deepcsi::common {
+
+// Number of threads the pool will use (callers included). >= 1.
+int num_threads();
+
+// Resize the pool. Joins existing workers; the next parallel_for spawns
+// the new count. Must not be called from inside a parallel region.
+void set_num_threads(int n);
+
+// Invoke fn(chunk_begin, chunk_end) over [begin, end) in chunks of at
+// most `grain` indices. Chunks may run concurrently on the pool; the
+// caller's thread participates. Exceptions thrown by fn are rethrown on
+// the calling thread (first one wins). Nested calls from inside a chunk
+// execute serially on the calling thread with identical chunking.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+// Chunk size so each chunk carries roughly `target_work` units when one
+// index costs `work_per_index` units. Keeps per-chunk dispatch overhead
+// amortized without starving the pool on small ranges.
+std::size_t grain_for(std::size_t work_per_index,
+                      std::size_t target_work = 1 << 15);
+
+}  // namespace deepcsi::common

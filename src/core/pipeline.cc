@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "dataset/scale.h"
 #include "nn/loss.h"
 #include "nn/serialize.h"
@@ -69,6 +70,38 @@ Authenticator::Prediction Authenticator::classify(
   const std::size_t best =
       static_cast<std::size_t>(std::max_element(row, row + k) - row);
   return Prediction{static_cast<int>(best), static_cast<double>(row[best])};
+}
+
+std::vector<Authenticator::Prediction> Authenticator::classify_batch(
+    std::span<const feedback::CompressedFeedbackReport> reports) const {
+  std::vector<Prediction> out(reports.size());
+  if (reports.empty()) return out;
+  const std::size_t c =
+      static_cast<std::size_t>(dataset::num_input_channels(spec_));
+  const std::size_t w = dataset::num_input_columns(spec_);
+
+  nn::Tensor x({reports.size(), c, 1, w});
+  common::parallel_for(
+      0, reports.size(), common::grain_for(c * w * 64),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          dataset::fill_features(reports[i], spec_, x.data() + i * c * w);
+      });
+
+  const nn::Tensor probs = nn::softmax(model_.forward(x, /*training=*/false));
+  const std::size_t k = probs.dim(1);
+  common::parallel_for(
+      0, reports.size(), common::grain_for(k),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* row = probs.data() + i * k;
+          const std::size_t best =
+              static_cast<std::size_t>(std::max_element(row, row + k) - row);
+          out[i] = Prediction{static_cast<int>(best),
+                              static_cast<double>(row[best])};
+        }
+      });
+  return out;
 }
 
 bool Authenticator::authenticate(

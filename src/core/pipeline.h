@@ -4,7 +4,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/model.h"
 #include "dataset/splits.h"
@@ -47,6 +49,15 @@ class Authenticator {
 
   // Classify one observed feedback report.
   Prediction classify(const feedback::CompressedFeedbackReport& report) const;
+
+  // Batched serving path: packs all reports into one input tensor (feature
+  // assembly fans out over the thread pool) and runs a single pooled
+  // forward pass. Predictions are bit-identical to per-report classify().
+  // Like classify(), not safe for concurrent calls on one Authenticator —
+  // the layers cache forward state; parallelism comes from the pool, not
+  // from racing callers.
+  std::vector<Prediction> classify_batch(
+      std::span<const feedback::CompressedFeedbackReport> reports) const;
 
   // PHY-layer authentication: does the report's fingerprint match the
   // claimed module id with at least `min_confidence`?

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "feedback/quantizer.h"
 
 namespace deepcsi::dataset {
@@ -167,16 +168,27 @@ nn::LabeledSet make_labeled_set_where(
   nn::LabeledSet set;
   set.num_classes = phy::kNumModules;
   set.x = nn::Tensor({count, c, 1, w});
-  set.y.reserve(count);
+  set.y.resize(count);
+
+  // Snapshot selection order is fixed; each row's dequantize + Vtilde
+  // reconstruction is independent, so extraction fans out over the pool.
+  std::vector<const Snapshot*> selected;
+  selected.reserve(count);
   std::size_t row = 0;
   for (const Trace& t : traces) {
     for (const Snapshot& s : t.snapshots) {
       if (!keep(s)) continue;
-      fill_features(s.report, spec, set.x.data() + row * c * w);
-      set.y.push_back(t.module_id);
+      selected.push_back(&s);
+      set.y[row] = t.module_id;
       ++row;
     }
   }
+  common::parallel_for(
+      0, count, common::grain_for(c * w * 64),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          fill_features(selected[i]->report, spec, set.x.data() + i * c * w);
+      });
   return set;
 }
 

@@ -2,9 +2,30 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+#include "nn/gemm.h"
 #include "nn/init.h"
 
 namespace deepcsi::nn {
+namespace {
+
+// Valid output-row/col span of a tap offset (dh, dw) under 'same' padding:
+// output index h reads input h + dh, so h must satisfy 0 <= h + dh < size.
+struct TapSpan {
+  std::size_t lo, hi;
+};
+
+TapSpan tap_span(std::ptrdiff_t d, std::size_t size) {
+  TapSpan s{0, size};
+  if (d < 0) s.lo = std::min(static_cast<std::size_t>(-d), size);
+  if (d > 0)
+    s.hi = size > static_cast<std::size_t>(d)
+               ? size - static_cast<std::size_t>(d)
+               : 0;
+  return s;
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kh, std::size_t kw, std::mt19937_64& rng)
@@ -22,59 +43,79 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   bias_.value.zero();
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+// im2col: column row (ci, i, j) holds x[ci] shifted by the tap offset,
+// zero outside the image. Rows are independent, so the (sample, tap)
+// space parallelizes directly.
+void Conv2d::im2col(const Tensor& x, std::vector<float>& cols) const {
+  const std::size_t n_batch = x.dim(0), hh = x.dim(2), ww = x.dim(3);
+  const std::size_t hw = hh * ww;
+  const std::size_t ckk = in_channels_ * kh_ * kw_;
+  cols.resize(n_batch * ckk * hw);
+  common::parallel_for(
+      0, n_batch * ckk, common::grain_for(hw),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::size_t n = r / ckk, q = r % ckk;
+          const std::size_t ci = q / (kh_ * kw_);
+          const std::size_t i = (q / kw_) % kh_, j = q % kw_;
+          const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
+                                    static_cast<std::ptrdiff_t>(pad_h_);
+          const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
+                                    static_cast<std::ptrdiff_t>(pad_w_);
+          const TapSpan hs = tap_span(dh, hh), ws = tap_span(dw, ww);
+          const float* __restrict x_plane =
+              x.data() + (n * in_channels_ + ci) * hw;
+          float* __restrict col_row = cols.data() + r * hw;
+          std::fill(col_row, col_row + hw, 0.0f);
+          for (std::size_t h = hs.lo; h < hs.hi; ++h) {
+            const std::size_t h_in =
+                static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
+            // Index with the signed tap offset — never form a pointer
+            // before the plane (w + dw >= 0 for w >= ws.lo).
+            const float* __restrict src = x_plane + h_in * ww;
+            float* __restrict dst = col_row + h * ww;
+            for (std::size_t w = ws.lo; w < ws.hi; ++w)
+              dst[w] = src[static_cast<std::ptrdiff_t>(w) + dw];
+          }
+        }
+      });
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
   DEEPCSI_CHECK(x.rank() == 4);
   DEEPCSI_CHECK_MSG(x.dim(1) == in_channels_, "conv2d channel mismatch");
   const std::size_t n_batch = x.dim(0), hh = x.dim(2), ww = x.dim(3);
+  const std::size_t hw = hh * ww;
+  const std::size_t ckk = in_channels_ * kh_ * kw_;
   cached_x_ = x;
 
-  Tensor out({n_batch, out_channels_, hh, ww});
-  const float* __restrict wt = weight_.value.data();
-  const float* __restrict bs = bias_.value.data();
-
-  for (std::size_t n = 0; n < n_batch; ++n) {
-    for (std::size_t co = 0; co < out_channels_; ++co) {
-      float* __restrict out_plane =
-          out.data() + ((n * out_channels_ + co) * hh) * ww;
-      std::fill(out_plane, out_plane + hh * ww, bs[co]);
-      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-        const float* __restrict x_plane =
-            x.data() + ((n * in_channels_ + ci) * hh) * ww;
-        for (std::size_t i = 0; i < kh_; ++i) {
-          for (std::size_t j = 0; j < kw_; ++j) {
-            const float wgt = wt[((co * in_channels_ + ci) * kh_ + i) * kw_ + j];
-            if (wgt == 0.0f) continue;
-            const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
-                                      static_cast<std::ptrdiff_t>(pad_h_);
-            const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
-                                      static_cast<std::ptrdiff_t>(pad_w_);
-            const std::size_t h_lo =
-                dh < 0 ? std::min(static_cast<std::size_t>(-dh), hh) : 0;
-            const std::size_t h_hi =
-                dh > 0 ? (hh > static_cast<std::size_t>(dh)
-                              ? hh - static_cast<std::size_t>(dh)
-                              : 0)
-                       : hh;
-            const std::size_t w_lo =
-                dw < 0 ? std::min(static_cast<std::size_t>(-dw), ww) : 0;
-            const std::size_t w_hi =
-                dw > 0 ? (ww > static_cast<std::size_t>(dw)
-                              ? ww - static_cast<std::size_t>(dw)
-                              : 0)
-                       : ww;
-            for (std::size_t h = h_lo; h < h_hi; ++h) {
-              float* __restrict o_row = out_plane + h * ww;
-              const std::size_t h_in =
-                  static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
-              const float* __restrict x_shift = x_plane + h_in * ww + dw;
-              for (std::size_t w = w_lo; w < w_hi; ++w)
-                o_row[w] += wgt * x_shift[w];
-            }
-          }
-        }
-      }
-    }
+  // One shared column buffer for both modes keeps steady-state serving
+  // allocation-free; grossly oversized capacity (training leftovers, or a
+  // much larger earlier serving batch) is dropped so the layer doesn't pin
+  // kh*kw-times-the-largest-input scratch forever. The 4x slack keeps
+  // mixed batch-1 / batch-N traffic from thrashing the allocator.
+  if (!training) {
+    if (cached_cols_.capacity() > 4 * n_batch * ckk * hw)
+      std::vector<float>().swap(cached_cols_);
+    if (!col_grad_scratch_.empty())
+      std::vector<float>().swap(col_grad_scratch_);
   }
+  im2col(x, cached_cols_);
+
+  // out[n] = bias + W * cols[n].
+  Tensor out({n_batch, out_channels_, hh, ww});
+  const float* __restrict bs = bias_.value.data();
+  common::parallel_for(
+      0, n_batch * out_channels_, common::grain_for(hw),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          float* __restrict o_row = out.data() + r * hw;
+          std::fill(o_row, o_row + hw, bs[r % out_channels_]);
+        }
+      });
+  gemm_nn_batched(n_batch, out_channels_, hw, ckk, weight_.value.data(),
+                  cached_cols_.data(), ckk * hw, out.data(), out_channels_ * hw,
+                  /*accumulate=*/true);
   return out;
 }
 
@@ -85,68 +126,72 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t n_batch = x.dim(0), hh = x.dim(2), ww = x.dim(3);
   DEEPCSI_CHECK(grad_out.dim(0) == n_batch && grad_out.dim(2) == hh &&
                 grad_out.dim(3) == ww);
+  const std::size_t hw = hh * ww;
+  const std::size_t ckk = in_channels_ * kh_ * kw_;
+  // Backward after an inference-mode forward (gradcheck does this):
+  // rebuild the columns from the cached input.
+  if (cached_cols_.size() != n_batch * ckk * hw) im2col(x, cached_cols_);
 
-  Tensor grad_in({n_batch, in_channels_, hh, ww});
-  const float* __restrict wt = weight_.value.data();
-  float* __restrict gw = weight_.grad.data();
+  // grad_b += per-plane sums (n ascending, double accumulator per plane).
   float* __restrict gb = bias_.grad.data();
-
-  for (std::size_t n = 0; n < n_batch; ++n) {
-    for (std::size_t co = 0; co < out_channels_; ++co) {
-      const float* __restrict g_plane =
-          grad_out.data() + ((n * out_channels_ + co) * hh) * ww;
-      double bias_acc = 0.0;
-      for (std::size_t idx = 0; idx < hh * ww; ++idx) bias_acc += g_plane[idx];
-      gb[co] += static_cast<float>(bias_acc);
-
-      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-        const float* __restrict x_plane =
-            x.data() + ((n * in_channels_ + ci) * hh) * ww;
-        float* __restrict gi_plane =
-            grad_in.data() + ((n * in_channels_ + ci) * hh) * ww;
-        for (std::size_t i = 0; i < kh_; ++i) {
-          for (std::size_t j = 0; j < kw_; ++j) {
-            const std::size_t w_idx =
-                ((co * in_channels_ + ci) * kh_ + i) * kw_ + j;
-            const float wgt = wt[w_idx];
-            const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
-                                      static_cast<std::ptrdiff_t>(pad_h_);
-            const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
-                                      static_cast<std::ptrdiff_t>(pad_w_);
-            const std::size_t h_lo =
-                dh < 0 ? std::min(static_cast<std::size_t>(-dh), hh) : 0;
-            const std::size_t h_hi =
-                dh > 0 ? (hh > static_cast<std::size_t>(dh)
-                              ? hh - static_cast<std::size_t>(dh)
-                              : 0)
-                       : hh;
-            const std::size_t w_lo =
-                dw < 0 ? std::min(static_cast<std::size_t>(-dw), ww) : 0;
-            const std::size_t w_hi =
-                dw > 0 ? (ww > static_cast<std::size_t>(dw)
-                              ? ww - static_cast<std::size_t>(dw)
-                              : 0)
-                       : ww;
-            float wgrad_acc = 0.0f;
-            for (std::size_t h = h_lo; h < h_hi; ++h) {
-              const float* __restrict g_row = g_plane + h * ww;
-              const std::size_t h_in =
-                  static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
-              const float* __restrict x_shift = x_plane + h_in * ww + dw;
-              float* __restrict gi_shift = gi_plane + h_in * ww + dw;
-              float acc = 0.0f;
-              for (std::size_t w = w_lo; w < w_hi; ++w) {
-                acc += g_row[w] * x_shift[w];
-                gi_shift[w] += wgt * g_row[w];
-              }
-              wgrad_acc += acc;
-            }
-            gw[w_idx] += wgrad_acc;
+  common::parallel_for(
+      0, out_channels_, common::grain_for(n_batch * hw),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t co = lo; co < hi; ++co) {
+          for (std::size_t n = 0; n < n_batch; ++n) {
+            const float* __restrict g_plane =
+                grad_out.data() + (n * out_channels_ + co) * hw;
+            double acc = 0.0;
+            for (std::size_t idx = 0; idx < hw; ++idx) acc += g_plane[idx];
+            gb[co] += static_cast<float>(acc);
           }
         }
-      }
-    }
-  }
+      });
+
+  // grad_W += sum_n grad_out[n] * cols[n]^T in one dispatch over the
+  // weight elements; the (n, hw)-ascending order per element is fixed.
+  gemm_nt_batch_reduce(n_batch, out_channels_, ckk, hw, grad_out.data(),
+                       out_channels_ * hw, cached_cols_.data(), ckk * hw,
+                       weight_.grad.data(), /*accumulate=*/true);
+
+  // Column gradients: colgrad[n] = W^T * grad_out[n].
+  col_grad_scratch_.resize(n_batch * ckk * hw);
+  gemm_tn_batched(n_batch, ckk, hw, out_channels_, weight_.value.data(),
+                  grad_out.data(), out_channels_ * hw, col_grad_scratch_.data(),
+                  ckk * hw, /*accumulate=*/false);
+
+  // col2im: scatter column gradients back onto input planes. Taps of
+  // channel ci only touch plane (n, ci), so that pair is the parallel
+  // unit and the tap/row order inside it is fixed.
+  Tensor grad_in({n_batch, in_channels_, hh, ww});
+  common::parallel_for(
+      0, n_batch * in_channels_, common::grain_for(kh_ * kw_ * hw),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::size_t n = r / in_channels_, ci = r % in_channels_;
+          float* __restrict gi_plane = grad_in.data() + r * hw;
+          for (std::size_t i = 0; i < kh_; ++i) {
+            for (std::size_t j = 0; j < kw_; ++j) {
+              const std::size_t q = (ci * kh_ + i) * kw_ + j;
+              const float* __restrict cg_row =
+                  col_grad_scratch_.data() + (n * ckk + q) * hw;
+              const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
+                                        static_cast<std::ptrdiff_t>(pad_h_);
+              const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
+                                        static_cast<std::ptrdiff_t>(pad_w_);
+              const TapSpan hs = tap_span(dh, hh), ws = tap_span(dw, ww);
+              for (std::size_t h = hs.lo; h < hs.hi; ++h) {
+                const std::size_t h_in = static_cast<std::size_t>(
+                    static_cast<std::ptrdiff_t>(h) + dh);
+                float* __restrict dst = gi_plane + h_in * ww;
+                const float* __restrict src = cg_row + h * ww;
+                for (std::size_t w = ws.lo; w < ws.hi; ++w)
+                  dst[static_cast<std::ptrdiff_t>(w) + dw] += src[w];
+              }
+            }
+          }
+        }
+      });
   return grad_in;
 }
 

@@ -1,11 +1,18 @@
 // 2-D convolution over NCHW tensors with 'same' zero padding and stride 1.
 //
+// Implemented as im2col + the shared row-parallel GEMM kernel: each
+// sample's receptive fields are unrolled into a [Cin*kh*kw, H*W] column
+// matrix, so forward is one weight-by-columns GEMM and backward is the
+// transposed pair (weight gradient and column gradient) plus a col2im
+// scatter. All stages run over the global thread pool with deterministic
+// partitioning — outputs are bit-identical for any DEEPCSI_THREADS.
+//
 // The DeepCSI classifier convolves only along the sub-carrier axis
-// (kernels (1,7)/(1,5)/(1,3)), so the kernels here are general (kh, kw)
-// but the hot loops are laid out to vectorize over the contiguous W axis.
+// (kernels (1,7)/(1,5)/(1,3)); the kernels here stay general (kh, kw).
 #pragma once
 
 #include <random>
+#include <vector>
 
 #include "nn/layer.h"
 
@@ -29,7 +36,15 @@ class Conv2d final : public Layer {
   std::size_t pad_h_, pad_w_;
   Param weight_;  // [out, in, kh, kw]
   Param bias_;    // [out]
+  // Unrolls x into [N][Cin*kh*kw][H*W] column rows (parallel per row).
+  void im2col(const Tensor& x, std::vector<float>& cols) const;
+
   Tensor cached_x_;
+  // im2col of cached_x_, shared by both modes: backward's weight-gradient
+  // GEMM consumes it after training-mode forward; inference reuses its
+  // capacity across calls and drops oversized leftovers on transition.
+  std::vector<float> cached_cols_;
+  std::vector<float> col_grad_scratch_;  // backward column gradients
 };
 
 }  // namespace deepcsi::nn

@@ -1,5 +1,7 @@
 #include "nn/dense.h"
 
+#include "common/parallel.h"
+#include "nn/gemm.h"
 #include "nn/init.h"
 
 namespace deepcsi::nn {
@@ -19,18 +21,18 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   const std::size_t n_batch = x.dim(0);
   cached_x_ = x;
   Tensor out({n_batch, out_features_});
-  const float* __restrict wt = weight_.value.data();
+  // out = x * W^T, one dot product per output element.
+  gemm_nt(n_batch, out_features_, in_features_, x.data(), weight_.value.data(),
+          out.data(), /*accumulate=*/false);
   const float* __restrict bs = bias_.value.data();
-  for (std::size_t n = 0; n < n_batch; ++n) {
-    const float* __restrict x_row = x.data() + n * in_features_;
-    float* __restrict o_row = out.data() + n * out_features_;
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      const float* __restrict w_row = wt + o * in_features_;
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < in_features_; ++i) acc += w_row[i] * x_row[i];
-      o_row[o] = acc + bs[o];
-    }
-  }
+  common::parallel_for(
+      0, n_batch, common::grain_for(out_features_),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t n = lo; n < hi; ++n) {
+          float* __restrict o_row = out.data() + n * out_features_;
+          for (std::size_t o = 0; o < out_features_; ++o) o_row[o] += bs[o];
+        }
+      });
   return out;
 }
 
@@ -40,25 +42,21 @@ Tensor Dense::backward(const Tensor& grad_out) {
   DEEPCSI_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_features_ &&
                 grad_out.dim(0) == x.dim(0));
   const std::size_t n_batch = x.dim(0);
+
+  // grad_in = grad_out * W.
   Tensor grad_in({n_batch, in_features_});
-  const float* __restrict wt = weight_.value.data();
-  float* __restrict gw = weight_.grad.data();
+  gemm_nn(n_batch, in_features_, out_features_, grad_out.data(),
+          weight_.value.data(), grad_in.data(), /*accumulate=*/false);
+
+  // grad_W += grad_out^T * x.
+  gemm_tn(out_features_, in_features_, n_batch, grad_out.data(), x.data(),
+          weight_.grad.data(), /*accumulate=*/true);
+
+  // grad_b += column sums of grad_out (n ascending, like the GEMMs).
   float* __restrict gb = bias_.grad.data();
   for (std::size_t n = 0; n < n_batch; ++n) {
     const float* __restrict g_row = grad_out.data() + n * out_features_;
-    const float* __restrict x_row = x.data() + n * in_features_;
-    float* __restrict gi_row = grad_in.data() + n * in_features_;
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      const float g = g_row[o];
-      if (g == 0.0f) continue;
-      const float* __restrict w_row = wt + o * in_features_;
-      float* __restrict gw_row = gw + o * in_features_;
-      for (std::size_t i = 0; i < in_features_; ++i) {
-        gw_row[i] += g * x_row[i];
-        gi_row[i] += g * w_row[i];
-      }
-      gb[o] += g;
-    }
+    for (std::size_t o = 0; o < out_features_; ++o) gb[o] += g_row[o];
   }
   return grad_in;
 }

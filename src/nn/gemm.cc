@@ -1,0 +1,115 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace deepcsi::nn {
+namespace {
+
+// One row of C_s = A * B_s: c_row[j] (+)= sum_kk a_row[kk] * b_s[kk][j].
+// i-k-j order streams B rows and keeps the accumulator row hot; the adds
+// into c_row[j] happen in ascending kk, the order the determinism
+// contract fixes.
+inline void nn_row(std::size_t n, std::size_t k, const float* __restrict a_row,
+                   const float* __restrict b, float* __restrict c_row,
+                   bool accumulate) {
+  if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float av = a_row[kk];
+    if (av == 0.0f) continue;
+    const float* __restrict b_row = b + kk * n;
+    for (std::size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+  }
+}
+
+// Dot product with fixed 4-lane partial sums: breaks the FP add
+// dependency chain without making the accumulation order data- or
+// thread-dependent.
+inline float dot4(const float* __restrict a, const float* __restrict b,
+                  std::size_t k) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  std::size_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    acc0 += a[kk] * b[kk];
+    acc1 += a[kk + 1] * b[kk + 1];
+    acc2 += a[kk + 2] * b[kk + 2];
+    acc3 += a[kk + 3] * b[kk + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; kk < k; ++kk) acc += a[kk] * b[kk];
+  return acc;
+}
+
+}  // namespace
+
+void gemm_nn_batched(std::size_t batch, std::size_t m, std::size_t n,
+                     std::size_t k, const float* a, const float* b,
+                     std::size_t b_stride, float* c, std::size_t c_stride,
+                     bool accumulate) {
+  const std::size_t rows = batch * m;
+  const std::size_t grain = common::grain_for(n * k);
+  common::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t s = r / m, i = r % m;
+      nn_row(n, k, a + i * k, b + s * b_stride, c + s * c_stride + i * n,
+             accumulate);
+    }
+  });
+}
+
+void gemm_tn_batched(std::size_t batch, std::size_t m, std::size_t n,
+                     std::size_t k, const float* a, const float* b,
+                     std::size_t b_stride, float* c, std::size_t c_stride,
+                     bool accumulate) {
+  const std::size_t rows = batch * m;
+  const std::size_t grain = common::grain_for(n * k);
+  common::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t s = r / m, i = r % m;
+      const float* __restrict b_s = b + s * b_stride;
+      float* __restrict c_row = c + s * c_stride + i * n;
+      if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = a[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* __restrict b_row = b_s + kk * n;
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  });
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate) {
+  const std::size_t grain = common::grain_for(n * k);
+  common::parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* __restrict a_row = a + i * k;
+      float* __restrict c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float acc = dot4(a_row, b + j * k, k);
+        c_row[j] = accumulate ? c_row[j] + acc : acc;
+      }
+    }
+  });
+}
+
+void gemm_nt_batch_reduce(std::size_t batch, std::size_t m, std::size_t n,
+                          std::size_t k, const float* a, std::size_t a_stride,
+                          const float* b, std::size_t b_stride, float* c,
+                          bool accumulate) {
+  common::parallel_for(
+      0, m * n, common::grain_for(batch * k),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t e = lo; e < hi; ++e) {
+          const std::size_t i = e / n, j = e % n;
+          float cur = accumulate ? c[e] : 0.0f;
+          for (std::size_t s = 0; s < batch; ++s)
+            cur += dot4(a + s * a_stride + i * k, b + s * b_stride + j * k, k);
+          c[e] = cur;
+        }
+      });
+}
+
+}  // namespace deepcsi::nn

@@ -1,0 +1,56 @@
+// Row-parallel single-precision GEMM kernels for the NN hot paths.
+//
+// All matrices are contiguous row-major. Every variant parallelizes over
+// rows of C through common::parallel_for; each output row is computed
+// wholly inside one chunk with a fixed ascending-k accumulation order, so
+// results are bit-identical for any thread count or chunking. The
+// batched variants share one A across the batch (the weight matrix) and
+// fold the batch axis into the parallel index space, which is what gives
+// single-sample inference (batch = 1, rows = M) and mini-batch training
+// (rows = batch * M) the same kernel and the same full parallelism.
+#pragma once
+
+#include <cstddef>
+
+namespace deepcsi::nn {
+
+// C_s[M,N] (+)= A[M,K] * B_s[K,N] for s in [0, batch).
+void gemm_nn_batched(std::size_t batch, std::size_t m, std::size_t n,
+                     std::size_t k, const float* a, const float* b,
+                     std::size_t b_stride, float* c, std::size_t c_stride,
+                     bool accumulate);
+
+// C_s[M,N] (+)= A[K,M]^T * B_s[K,N] for s in [0, batch).
+void gemm_tn_batched(std::size_t batch, std::size_t m, std::size_t n,
+                     std::size_t k, const float* a, const float* b,
+                     std::size_t b_stride, float* c, std::size_t c_stride,
+                     bool accumulate);
+
+// C[M,N] (+)= A[M,K] * B[K,N].
+inline void gemm_nn(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, const float* b, float* c,
+                    bool accumulate) {
+  gemm_nn_batched(1, m, n, k, a, b, 0, c, 0, accumulate);
+}
+
+// C[M,N] (+)= A[K,M]^T * B[K,N].
+inline void gemm_tn(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, const float* b, float* c,
+                    bool accumulate) {
+  gemm_tn_batched(1, m, n, k, a, b, 0, c, 0, accumulate);
+}
+
+// C[M,N] (+)= A[M,K] * B[N,K]^T (row-by-row dot products).
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate);
+
+// C[M,N] (+)= sum_s A_s[M,K] * B_s[N,K]^T — the batch reduces into each
+// output element (s outer, k inner, both ascending) in ONE dispatch over
+// the M*N element space, so parallelism is not capped at M rows and the
+// result is bit-identical to looping gemm_nt over s.
+void gemm_nt_batch_reduce(std::size_t batch, std::size_t m, std::size_t n,
+                          std::size_t k, const float* a, std::size_t a_stride,
+                          const float* b, std::size_t b_stride, float* c,
+                          bool accumulate);
+
+}  // namespace deepcsi::nn

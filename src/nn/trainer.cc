@@ -5,6 +5,7 @@
 #include <numeric>
 #include <random>
 
+#include "common/parallel.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 
@@ -17,10 +18,14 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::size_t>& rows,
   shape[0] = end - begin;
   Tensor out(shape);
   const std::size_t row_elems = x.numel() / x.dim(0);
-  for (std::size_t i = begin; i < end; ++i)
-    std::copy(x.data() + rows[i] * row_elems,
-              x.data() + (rows[i] + 1) * row_elems,
-              out.data() + (i - begin) * row_elems);
+  common::parallel_for(
+      begin, end, common::grain_for(row_elems),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          std::copy(x.data() + rows[i] * row_elems,
+                    x.data() + (rows[i] + 1) * row_elems,
+                    out.data() + (i - begin) * row_elems);
+      });
   return out;
 }
 
@@ -149,6 +154,8 @@ ConfusionMatrix evaluate(Sequential& model, const LabeledSet& test,
     const Tensor logits = model.forward(xb, /*training=*/false);
     const Tensor probs = softmax(logits);
     const std::size_t k = probs.dim(1);
+    // The per-sample heavy lifting above (gather + forward) runs on the
+    // pool; the argmax over ~10 classes is too small to dispatch.
     for (std::size_t r = 0; r < hi - at; ++r) {
       const float* row = probs.data() + r * k;
       const int pred =

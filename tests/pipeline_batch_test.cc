@@ -1,0 +1,94 @@
+// Batched serving API: classify_batch must match per-report classify
+// bit-for-bit, at any thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "dataset/features.h"
+#include "dataset/traces.h"
+#include "phy/impairments.h"
+#include "test_util.h"
+
+namespace deepcsi {
+namespace {
+
+using tests::ThreadGuard;
+
+core::Authenticator make_authenticator(const dataset::InputSpec& spec) {
+  return core::Authenticator(
+      core::build_deepcsi_model(dataset::num_input_channels(spec),
+                                static_cast<int>(dataset::num_input_columns(spec)),
+                                phy::kNumModules, core::quick_model_config()),
+      spec);
+}
+
+std::vector<feedback::CompressedFeedbackReport> make_reports() {
+  const dataset::Scale scale{3, 3, 4};
+  std::vector<feedback::CompressedFeedbackReport> reports;
+  for (int module : {0, 1, 2}) {
+    const dataset::Trace trace =
+        dataset::generate_d1_trace(module, 1, 0, scale, {});
+    for (const dataset::Snapshot& s : trace.snapshots)
+      reports.push_back(s.report);
+  }
+  return reports;
+}
+
+TEST(PipelineBatchTest, BatchMatchesPerReportClassify) {
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 4;
+  const core::Authenticator auth = make_authenticator(spec);
+  const auto reports = make_reports();
+  ASSERT_GE(reports.size(), 6u);
+
+  const auto batch = auth.classify_batch(reports);
+  ASSERT_EQ(batch.size(), reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto single = auth.classify(reports[i]);
+    EXPECT_EQ(batch[i].module_id, single.module_id) << i;
+    EXPECT_EQ(batch[i].confidence, single.confidence) << i;
+  }
+}
+
+TEST(PipelineBatchTest, BatchBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 4;
+  const core::Authenticator auth = make_authenticator(spec);
+  const auto reports = make_reports();
+
+  common::set_num_threads(1);
+  const auto r1 = auth.classify_batch(reports);
+  common::set_num_threads(4);
+  const auto r4 = auth.classify_batch(reports);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].module_id, r4[i].module_id) << i;
+    EXPECT_EQ(r1[i].confidence, r4[i].confidence) << i;
+  }
+}
+
+TEST(PipelineBatchTest, EmptyBatchReturnsEmpty) {
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 4;
+  const core::Authenticator auth = make_authenticator(spec);
+  EXPECT_TRUE(auth.classify_batch({}).empty());
+}
+
+TEST(PipelineBatchTest, PredictionsAreValidDistributions) {
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 4;
+  const core::Authenticator auth = make_authenticator(spec);
+  for (const auto& p : auth.classify_batch(make_reports())) {
+    EXPECT_GE(p.module_id, 0);
+    EXPECT_LT(p.module_id, phy::kNumModules);
+    EXPECT_GT(p.confidence, 0.0);
+    EXPECT_LE(p.confidence, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace deepcsi

@@ -1,0 +1,20 @@
+// Shared helpers for the test binaries.
+#pragma once
+
+#include "common/parallel.h"
+
+namespace deepcsi::tests {
+
+// Restores the global pool size on scope exit so tests stay independent.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(common::num_threads()) {}
+  ~ThreadGuard() { common::set_num_threads(saved_); }
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace deepcsi::tests
