@@ -24,13 +24,14 @@ std::vector<std::size_t> selected_positions(const InputSpec& spec) {
 }
 
 // Remove a + b*k fitted to the unwrapped phase of one antenna row
-// (the offset-cleaning step of [36]; see Fig. 16).
-void clean_linear_phase(std::vector<linalg::cplx>& row,
-                        const std::vector<int>& ks) {
-  DEEPCSI_CHECK(row.size() == ks.size());
-  const std::size_t n = row.size();
+// (the offset-cleaning step of [36]; see Fig. 16). `row` must hold
+// ks.size() entries; `phase` is caller scratch so repeated calls stay
+// allocation-free.
+void clean_linear_phase(linalg::cplx* row, const std::vector<int>& ks,
+                        std::vector<double>& phase) {
+  const std::size_t n = ks.size();
   if (n < 2) return;
-  std::vector<double> phase(n);
+  phase.resize(n);
   double prev = std::arg(row[0]);
   phase[0] = prev;
   for (std::size_t i = 1; i < n; ++i) {
@@ -71,38 +72,56 @@ std::size_t num_input_columns(const InputSpec& spec) {
 
 void fill_features(const feedback::CompressedFeedbackReport& report,
                    const InputSpec& spec, float* out) {
+  thread_local FeatureScratch scratch;
+  fill_features(report, spec, out, scratch);
+}
+
+void fill_features(const feedback::CompressedFeedbackReport& report,
+                   const InputSpec& spec, float* out, FeatureScratch& scratch) {
   DEEPCSI_CHECK_MSG(spec.stream >= 0 && spec.stream < report.nss,
                     "requested spatial stream not in this feedback");
   DEEPCSI_CHECK(spec.num_antennas <= report.m);
+  // Validate up front: an invalid stride must fail loudly even when it
+  // happens to equal the scratch's not-yet-computed sentinel.
+  DEEPCSI_CHECK(spec.subcarrier_stride >= 1);
 
-  const std::vector<std::size_t> positions = selected_positions(spec);
+  if (scratch.subcarrier_stride != spec.subcarrier_stride ||
+      scratch.band != spec.band) {
+    scratch.positions = selected_positions(spec);
+    scratch.band = spec.band;
+    scratch.subcarrier_stride = spec.subcarrier_stride;
+  }
+  const std::vector<std::size_t>& positions = scratch.positions;
   const std::size_t w = positions.size();
-  const int a = spec.num_antennas;
+  const std::size_t a = static_cast<std::size_t>(spec.num_antennas);
 
-  // Reconstruct the selected Vtilde column for each selected sub-carrier.
-  std::vector<std::vector<linalg::cplx>> rows(
-      static_cast<std::size_t>(a), std::vector<linalg::cplx>(w));
-  std::vector<int> ks(w);
+  // Reconstruct the selected Vtilde column for each selected sub-carrier;
+  // dequantize and the rotation kernels write into the reused scratch.
+  scratch.rows.resize(a * w);
+  scratch.ks.resize(w);
   for (std::size_t i = 0; i < w; ++i) {
     const std::size_t pos = positions[i];
     DEEPCSI_CHECK(pos < report.per_subcarrier.size());
-    const linalg::CMat v = feedback::reconstruct_v(
-        feedback::dequantize(report.per_subcarrier[pos], report.quant));
-    for (int m = 0; m < a; ++m)
-      rows[static_cast<std::size_t>(m)][i] =
-          v(static_cast<std::size_t>(m), static_cast<std::size_t>(spec.stream));
-    ks[i] = report.subcarriers[pos];
+    feedback::dequantize_into(report.per_subcarrier[pos], report.quant,
+                              &scratch.angles);
+    feedback::reconstruct_v_into(scratch.angles, &scratch.v);
+    for (std::size_t m = 0; m < a; ++m)
+      scratch.rows[m * w + i] =
+          scratch.v(m, static_cast<std::size_t>(spec.stream));
+    scratch.ks[i] = report.subcarriers[pos];
   }
 
   if (spec.offset_correction)
-    for (int m = 0; m < a; ++m)
-      clean_linear_phase(rows[static_cast<std::size_t>(m)], ks);
+    for (std::size_t m = 0; m < a; ++m)
+      clean_linear_phase(scratch.rows.data() + m * w, scratch.ks,
+                         scratch.phase);
 
   // Channel layout: I_0, Q_0, I_1, Q_1, ..., with Q omitted for the last
   // TX antenna row (real non-negative by construction).
   std::size_t ch = 0;
-  for (int m = 0; m < a; ++m) {
-    const bool is_last_tx_row = (m == report.m - 1);
+  for (std::size_t m = 0; m < a; ++m) {
+    const bool is_last_tx_row = (static_cast<int>(m) == report.m - 1);
+    const linalg::cplx* row = scratch.rows.data() + m * w;
     float* i_plane = out + ch * w;
     ++ch;
     float* q_plane = nullptr;
@@ -111,10 +130,8 @@ void fill_features(const feedback::CompressedFeedbackReport& report,
       ++ch;
     }
     for (std::size_t i = 0; i < w; ++i) {
-      i_plane[i] = static_cast<float>(rows[static_cast<std::size_t>(m)][i].real());
-      if (q_plane != nullptr)
-        q_plane[i] =
-            static_cast<float>(rows[static_cast<std::size_t>(m)][i].imag());
+      i_plane[i] = static_cast<float>(row[i].real());
+      if (q_plane != nullptr) q_plane[i] = static_cast<float>(row[i].imag());
     }
   }
   DEEPCSI_CHECK(ch == static_cast<std::size_t>(num_input_channels(spec)));
@@ -140,14 +157,20 @@ void shuffle_labeled_set(nn::LabeledSet& set, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::shuffle(order.begin(), order.end(), rng);
 
+  // Destination rows are disjoint per index, so the gather fans out over
+  // the pool with the usual deterministic chunking; the permutation is
+  // fixed by the seed, so the result is thread-count independent.
   nn::Tensor x(set.x.shape());
   std::vector<int> y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::copy(set.x.data() + order[i] * row_elems,
-              set.x.data() + (order[i] + 1) * row_elems,
-              x.data() + i * row_elems);
-    y[i] = set.y[order[i]];
-  }
+  common::parallel_for(
+      0, n, common::grain_for(row_elems), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::copy(set.x.data() + order[i] * row_elems,
+                    set.x.data() + (order[i] + 1) * row_elems,
+                    x.data() + i * row_elems);
+          y[i] = set.y[order[i]];
+        }
+      });
   set.x = std::move(x);
   set.y = std::move(y);
 }

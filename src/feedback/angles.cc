@@ -17,6 +17,12 @@ double wrap_to_2pi(double a) {
   return a;
 }
 
+// Start of the i-th per-column angle group (1-based i) inside the flat
+// phi / psi arrays: groups 1..i-1 hold (m - t) angles each.
+std::size_t group_offset(int m, int i) {
+  return static_cast<std::size_t>((i - 1) * m - (i - 1) * i / 2);
+}
+
 }  // namespace
 
 std::size_t num_angles(int m, int nss) {
@@ -73,17 +79,17 @@ BfmAngles decompose_v(const CMat& v) {
 
   const int imax = std::min(nss, m - 1);
   for (int i = 1; i <= imax; ++i) {
-    // Column phases phi_{l,i}, l = i..M-1.
-    std::vector<double> phi_col;
+    // Column phases phi_{l,i}, l = i..M-1. D_i^dagger scales exactly row
+    // l-1 by e^{-j phi_{l,i}}, so each row's phase can be removed the
+    // moment it is read — no phi staging buffer, no D matrix.
     for (int l = i; l <= m - 1; ++l) {
       const double phi = wrap_to_2pi(std::arg(
           omega(static_cast<std::size_t>(l - 1), static_cast<std::size_t>(i - 1))));
-      phi_col.push_back(phi);
       out.phi.push_back(phi);
+      omega.scale_row(static_cast<std::size_t>(l - 1), std::polar(1.0, -phi));
     }
-    omega = d_matrix(m, i, phi_col).hermitian() * omega;
 
-    // Givens angles psi_{l,i}, l = i+1..M.
+    // Givens angles psi_{l,i}, l = i+1..M; each G touches rows i-1 and l-1.
     for (int l = i + 1; l <= m; ++l) {
       const double x = omega(static_cast<std::size_t>(i - 1),
                              static_cast<std::size_t>(i - 1))
@@ -96,13 +102,45 @@ BfmAngles decompose_v(const CMat& v) {
           denom > 0.0 ? std::acos(std::min(1.0, std::max(-1.0, x / denom)))
                       : 0.0;
       out.psi.push_back(psi);
-      omega = g_matrix(m, l, i, psi) * omega;
+      omega.apply_givens_left(static_cast<std::size_t>(i - 1),
+                              static_cast<std::size_t>(l - 1), psi);
     }
   }
   return out;
 }
 
 CMat reconstruct_v(const BfmAngles& angles) {
+  CMat out;
+  reconstruct_v_into(angles, &out);
+  return out;
+}
+
+void reconstruct_v_into(const BfmAngles& angles, CMat* out) {
+  const int m = angles.m, nss = angles.nss;
+  DEEPCSI_CHECK(num_angles(m, nss) == angles.phi.size());
+  DEEPCSI_CHECK(num_angles(m, nss) == angles.psi.size());
+
+  // Vtilde = D_1 G^T_{2,1} .. G^T_{M,1} D_2 .. G^T_{M,imax} I_{MxNSS}
+  // (Eq. (7)). Applying the factors to I_{MxNSS} from the right end
+  // inward turns every factor into a left rotation on an M x NSS matrix:
+  // within group i (descending), G^T_{l,i} for l = M..i+1, then D_i. Each
+  // touches two rows (G^T) or the m-i rows of D_i's phase block.
+  out->set_eye(static_cast<std::size_t>(m), static_cast<std::size_t>(nss));
+  const int imax = std::min(nss, m - 1);
+  for (int i = imax; i >= 1; --i) {
+    const std::size_t base = group_offset(m, i);
+    for (int l = m; l >= i + 1; --l)
+      out->apply_givens_left(static_cast<std::size_t>(i - 1),
+                             static_cast<std::size_t>(l - 1),
+                             -angles.psi[base + static_cast<std::size_t>(l - i - 1)]);
+    out->scale_rows_polar(
+        static_cast<std::size_t>(i - 1),
+        std::span<const double>(angles.phi.data() + base,
+                                static_cast<std::size_t>(m - i)));
+  }
+}
+
+CMat reconstruct_v_reference(const BfmAngles& angles) {
   const int m = angles.m, nss = angles.nss;
   DEEPCSI_CHECK(num_angles(m, nss) == angles.phi.size());
   DEEPCSI_CHECK(num_angles(m, nss) == angles.psi.size());

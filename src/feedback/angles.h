@@ -38,12 +38,28 @@ struct BfmAngles {
 std::size_t num_angles(int m, int nss);
 
 // Algorithm 1. `v` must have orthonormal columns (tolerances apply); the
-// returned angles reconstruct Vtilde = V * Dtilde^dagger exactly.
+// returned angles reconstruct Vtilde = V * Dtilde^dagger exactly. The
+// D^dagger and G steps are applied as in-place row operations on one
+// working copy of V — O(M * NSS) per rotation, no intermediate matrices.
 BfmAngles decompose_v(const CMat& v);
 
 // Eq. (7): rebuild the M x NSS Vtilde from the angles. By construction the
 // last row is real and non-negative.
 CMat reconstruct_v(const BfmAngles& angles);
+
+// reconstruct_v writing into caller-owned storage: `out` is reshaped with
+// set_eye (reusing its heap block in steady state) and the D / G^T factors
+// are applied as in-place rotations directly on the M x NSS matrix. The
+// per-report ingest path calls this once per selected sub-carrier with a
+// per-thread scratch matrix, making reconstruction allocation-free.
+void reconstruct_v_into(const BfmAngles& angles, CMat* out);
+
+// The literal matrix-product form of Eq. (7): multiplies explicit
+// d_matrix / g_matrix factors into an M x M accumulator and slices
+// I_{M x NSS}. Kept as the reference implementation for the property
+// tests and the ingest benchmark's before/after comparison; the rotation
+// kernels above must match it to floating-point roundoff.
+CMat reconstruct_v_reference(const BfmAngles& angles);
 
 // First NSS right-singular vectors of H^T per sub-carrier (Eq. (3)):
 // h_per_k holds M x N CFR matrices; requires nss <= min(m, n).

@@ -122,6 +122,48 @@ void CMat::scale_col(std::size_t c, cplx factor) {
   for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) *= factor;
 }
 
+void CMat::set_eye(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < std::min(rows, cols); ++i) (*this)(i, i) = 1.0;
+}
+
+void CMat::apply_givens_left(std::size_t a, std::size_t b, double psi) {
+  DEEPCSI_CHECK(a < rows_ && b < rows_ && a != b);
+  const double c = std::cos(psi), s = std::sin(psi);
+  cplx* ra = data_.data() + a * cols_;
+  cplx* rb = data_.data() + b * cols_;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const cplx va = ra[j], vb = rb[j];
+    ra[j] = c * va + s * vb;
+    rb[j] = -s * va + c * vb;
+  }
+}
+
+void CMat::apply_givens_right(std::size_t a, std::size_t b, double psi) {
+  DEEPCSI_CHECK(a < cols_ && b < cols_ && a != b);
+  const double c = std::cos(psi), s = std::sin(psi);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx* row = data_.data() + r * cols_;
+    const cplx va = row[a], vb = row[b];
+    row[a] = c * va - s * vb;
+    row[b] = s * va + c * vb;
+  }
+}
+
+void CMat::scale_rows_polar(std::size_t first, std::span<const double> phases) {
+  DEEPCSI_CHECK(first + phases.size() <= rows_);
+  for (std::size_t t = 0; t < phases.size(); ++t)
+    scale_row(first + t, std::polar(1.0, phases[t]));
+}
+
+void CMat::scale_cols_polar(std::size_t first, std::span<const double> phases) {
+  DEEPCSI_CHECK(first + phases.size() <= cols_);
+  for (std::size_t t = 0; t < phases.size(); ++t)
+    scale_col(first + t, std::polar(1.0, phases[t]));
+}
+
 double CMat::frobenius_norm() const {
   double s = 0.0;
   for (const auto& v : data_) s += std::norm(v);

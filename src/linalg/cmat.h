@@ -8,6 +8,7 @@
 #include <complex>
 #include <cstddef>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -67,6 +68,34 @@ class CMat {
   // Scale row r (resp. column c) by a complex factor in place.
   void scale_row(std::size_t r, cplx factor);
   void scale_col(std::size_t c, cplx factor);
+
+  // Reshape to rows x cols and set to the rectangular identity, reusing
+  // the existing storage when capacity allows (no heap traffic in steady
+  // state). The in-place rebuild entry point of the feedback codec.
+  void set_eye(std::size_t rows, std::size_t cols);
+
+  // In-place plane rotations with the real Givens block of Eq. (5):
+  // G(a,a) = cos psi, G(a,b) = sin psi, G(b,a) = -sin psi, G(b,b) = cos psi.
+  // Each touches exactly two rows (resp. columns) — O(cols) instead of the
+  // O(rows^2 * cols) of materializing G and multiplying. Pass -psi to
+  // apply G^T.
+  //
+  // A <- G * A: row_a' = c*row_a + s*row_b, row_b' = -s*row_a + c*row_b.
+  void apply_givens_left(std::size_t a, std::size_t b, double psi);
+  // A <- A * G: col_a' = c*col_a - s*col_b, col_b' = s*col_a + c*col_b.
+  void apply_givens_right(std::size_t a, std::size_t b, double psi);
+
+  // The feedback codec applies factors from the left (rows), so the
+  // right/column variants have no production caller yet; they are kept
+  // as the symmetric half of the rotation toolkit (covered by
+  // tests/angles_roundtrip_test.cc) for codecs that accumulate on the
+  // other side.
+  //
+  // Phase scalings of the D-matrix family (Eq. (4)) without forming D:
+  // row/column (first + t) is multiplied by e^{j * phases[t]}. Conjugate
+  // (D^dagger) application is a negated-phase span at the call site.
+  void scale_rows_polar(std::size_t first, std::span<const double> phases);
+  void scale_cols_polar(std::size_t first, std::span<const double> phases);
 
   double frobenius_norm() const;
   double max_abs() const;

@@ -1,25 +1,118 @@
 #include "nn/gemm.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/parallel.h"
 
 namespace deepcsi::nn {
 namespace {
 
-// One row of C_s = A * B_s: c_row[j] (+)= sum_kk a_row[kk] * b_s[kk][j].
-// i-k-j order streams B rows and keeps the accumulator row hot; the adds
-// into c_row[j] happen in ascending kk, the order the determinism
-// contract fixes.
-inline void nn_row(std::size_t n, std::size_t k, const float* __restrict a_row,
-                   const float* __restrict b, float* __restrict c_row,
-                   bool accumulate) {
-  if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float av = a_row[kk];
-    if (av == 0.0f) continue;
-    const float* __restrict b_row = b + kk * n;
-    for (std::size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+// Blocked micro-kernel layout. The k dimension is tiled so the active B
+// panel stays cache-resident while up to kRowBlock C rows stream over it,
+// and within a chunk the panel is packed once into per-thread scratch
+// (aligned, padded row stride) and reused by every row block of the same
+// sample. Each C element still accumulates one product per kk in strictly
+// ascending kk — tile boundaries and packing move data, never reassociate
+// the sum — so results stay bit-identical for any DEEPCSI_THREADS value
+// and any chunking, exactly as the PR 1 determinism contract requires.
+constexpr std::size_t kRowBlock = 4;
+constexpr std::size_t kKTile = 128;
+
+// Padded packed-row stride: rows start at the same offset modulo a
+// 32-byte vector width, so consecutive rows never share a partial
+// vector lane and the j loops see one uniform trip count per row.
+inline std::size_t packed_stride(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+// Per-thread packed-B panel; capacity persists across calls, so the
+// steady state performs no allocations.
+std::vector<float>& pack_scratch() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+// Copy B rows [k0, k1) (each n wide, stride n) into the packed panel.
+inline const float* pack_b_tile(const float* __restrict b, std::size_t n,
+                                std::size_t k0, std::size_t k1,
+                                std::vector<float>& pack) {
+  const std::size_t ldp = packed_stride(n);
+  pack.resize(ldp * (k1 - k0));
+  for (std::size_t kk = k0; kk < k1; ++kk)
+    std::copy(b + kk * n, b + kk * n + n, pack.data() + (kk - k0) * ldp);
+  return pack.data();
+}
+
+// Four C rows over one B tile: the b_row load is shared by four
+// independent accumulator rows (4x the arithmetic per byte of B), and the
+// branch-free j loop autovectorizes. No zero-skip: the old `if (av ==
+// 0.0f) continue;` defeated vectorization and almost never fires on dense
+// activations.
+inline void rows4_tile(std::size_t n, std::size_t k0, std::size_t k1,
+                       const float* __restrict a0, const float* __restrict a1,
+                       const float* __restrict a2, const float* __restrict a3,
+                       std::size_t a_stride, const float* __restrict bt,
+                       std::size_t ldb, float* __restrict c0,
+                       float* __restrict c1, float* __restrict c2,
+                       float* __restrict c3) {
+  for (std::size_t kk = k0; kk < k1; ++kk) {
+    const std::size_t ak = kk * a_stride;
+    const float av0 = a0[ak], av1 = a1[ak], av2 = a2[ak], av3 = a3[ak];
+    const float* __restrict b_row = bt + (kk - k0) * ldb;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float bv = b_row[j];
+      c0[j] += av0 * bv;
+      c1[j] += av1 * bv;
+      c2[j] += av2 * bv;
+      c3[j] += av3 * bv;
+    }
+  }
+}
+
+// Single-row tail of the block loop, same per-element order.
+inline void rows1_tile(std::size_t n, std::size_t k0, std::size_t k1,
+                       const float* __restrict a0, std::size_t a_stride,
+                       const float* __restrict bt, std::size_t ldb,
+                       float* __restrict c0) {
+  for (std::size_t kk = k0; kk < k1; ++kk) {
+    const float av = a0[kk * a_stride];
+    const float* __restrict b_row = bt + (kk - k0) * ldb;
+    for (std::size_t j = 0; j < n; ++j) c0[j] += av * b_row[j];
+  }
+}
+
+// The rows [r_lo, r_hi) of one sample's C_s = op(A) * B_s, where
+// a_of(row) yields a pointer whose [kk * a_stride] element is
+// op(A)(row, kk). Covers both layouts: NN passes (a + row * k, stride 1),
+// TN passes (a + row, stride m).
+template <typename ARow>
+inline void sample_rows_blocked(std::size_t n, std::size_t k, ARow a_of,
+                                std::size_t a_stride,
+                                const float* __restrict b_s,
+                                float* __restrict c_s, std::size_t r_lo,
+                                std::size_t r_hi, bool accumulate) {
+  if (!accumulate)
+    for (std::size_t r = r_lo; r < r_hi; ++r)
+      std::fill(c_s + r * n, c_s + r * n + n, 0.0f);
+  const bool do_pack = r_hi - r_lo > kRowBlock;
+  std::vector<float>& pack = pack_scratch();
+  for (std::size_t k0 = 0; k0 < k; k0 += kKTile) {
+    const std::size_t k1 = std::min(k, k0 + kKTile);
+    const float* bt;
+    std::size_t ldb;
+    if (do_pack) {
+      bt = pack_b_tile(b_s, n, k0, k1, pack);
+      ldb = packed_stride(n);
+    } else {
+      bt = b_s + k0 * n;
+      ldb = n;
+    }
+    std::size_t r = r_lo;
+    for (; r + kRowBlock <= r_hi; r += kRowBlock)
+      rows4_tile(n, k0, k1, a_of(r), a_of(r + 1), a_of(r + 2), a_of(r + 3),
+                 a_stride, bt, ldb, c_s + r * n, c_s + (r + 1) * n,
+                 c_s + (r + 2) * n, c_s + (r + 3) * n);
+    for (; r < r_hi; ++r)
+      rows1_tile(n, k0, k1, a_of(r), a_stride, bt, ldb, c_s + r * n);
   }
 }
 
@@ -50,10 +143,14 @@ void gemm_nn_batched(std::size_t batch, std::size_t m, std::size_t n,
   const std::size_t rows = batch * m;
   const std::size_t grain = common::grain_for(n * k);
   common::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      const std::size_t s = r / m, i = r % m;
-      nn_row(n, k, a + i * k, b + s * b_stride, c + s * c_stride + i * n,
-             accumulate);
+    std::size_t r = lo;
+    while (r < hi) {
+      const std::size_t s = r / m, i0 = r % m;
+      const std::size_t nrows = std::min(hi - r, m - i0);
+      sample_rows_blocked(
+          n, k, [&](std::size_t row) { return a + row * k; }, 1,
+          b + s * b_stride, c + s * c_stride, i0, i0 + nrows, accumulate);
+      r += nrows;
     }
   });
 }
@@ -65,17 +162,14 @@ void gemm_tn_batched(std::size_t batch, std::size_t m, std::size_t n,
   const std::size_t rows = batch * m;
   const std::size_t grain = common::grain_for(n * k);
   common::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      const std::size_t s = r / m, i = r % m;
-      const float* __restrict b_s = b + s * b_stride;
-      float* __restrict c_row = c + s * c_stride + i * n;
-      if (!accumulate) std::fill(c_row, c_row + n, 0.0f);
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = a[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* __restrict b_row = b_s + kk * n;
-        for (std::size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-      }
+    std::size_t r = lo;
+    while (r < hi) {
+      const std::size_t s = r / m, i0 = r % m;
+      const std::size_t nrows = std::min(hi - r, m - i0);
+      sample_rows_blocked(
+          n, k, [&](std::size_t row) { return a + row; }, m, b + s * b_stride,
+          c + s * c_stride, i0, i0 + nrows, accumulate);
+      r += nrows;
     }
   });
 }

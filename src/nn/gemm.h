@@ -8,6 +8,14 @@
 // fold the batch axis into the parallel index space, which is what gives
 // single-sample inference (batch = 1, rows = M) and mini-batch training
 // (rows = batch * M) the same kernel and the same full parallelism.
+//
+// The NN/TN variants run a register-blocked micro-kernel: 4 C rows per
+// block share each streamed B row (4x arithmetic intensity), the k axis
+// is tiled, and the active B tile is packed once per chunk into aligned
+// per-thread scratch and reused across the chunk's row blocks. Blocking,
+// tiling and packing only move data — every C element still accumulates
+// exactly one product per k index, in ascending k — so the determinism
+// contract above survives the optimization untouched.
 #pragma once
 
 #include <cstddef>

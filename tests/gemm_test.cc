@@ -1,0 +1,168 @@
+// The register-blocked GEMM micro-kernels against a naive
+// ascending-k reference, bitwise: blocking, k-tiling and B-packing must
+// move data without ever reassociating a sum, and the result must not
+// depend on DEEPCSI_THREADS. Shapes deliberately include row counts that
+// are not multiples of the 4-row block and odd n / k.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "common/parallel.h"
+#include "nn/gemm.h"
+#include "test_util.h"
+
+namespace deepcsi::nn {
+namespace {
+
+using tests::ThreadGuard;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(rng);
+  return v;
+}
+
+// C_s (+)= A * B_s, plain triple loop, ascending k, one add per k — the
+// accumulation order the kernels contract to reproduce exactly.
+void naive_nn(std::size_t batch, std::size_t m, std::size_t n, std::size_t k,
+              const float* a, const float* b, std::size_t b_stride, float* c,
+              std::size_t c_stride, bool accumulate) {
+  for (std::size_t s = 0; s < batch; ++s)
+    for (std::size_t i = 0; i < m; ++i) {
+      float* row = c + s * c_stride + i * n;
+      if (!accumulate)
+        for (std::size_t j = 0; j < n; ++j) row[j] = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = a[i * k + kk];
+        for (std::size_t j = 0; j < n; ++j)
+          row[j] += av * b[s * b_stride + kk * n + j];
+      }
+    }
+}
+
+void naive_tn(std::size_t batch, std::size_t m, std::size_t n, std::size_t k,
+              const float* a, const float* b, std::size_t b_stride, float* c,
+              std::size_t c_stride, bool accumulate) {
+  for (std::size_t s = 0; s < batch; ++s)
+    for (std::size_t i = 0; i < m; ++i) {
+      float* row = c + s * c_stride + i * n;
+      if (!accumulate)
+        for (std::size_t j = 0; j < n; ++j) row[j] = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = a[kk * m + i];
+        for (std::size_t j = 0; j < n; ++j)
+          row[j] += av * b[s * b_stride + kk * n + j];
+      }
+    }
+}
+
+struct Shape {
+  std::size_t batch, m, n, k;
+};
+
+// Sizes straddle every kernel edge: m % 4 != 0 tails, n past the packed
+// stride padding, k beyond one 128-row tile, batch folding.
+const Shape kShapes[] = {
+    {1, 1, 1, 1},   {1, 3, 5, 7},    {1, 4, 8, 16},   {2, 5, 9, 3},
+    {3, 7, 33, 129}, {1, 16, 234, 45}, {4, 6, 17, 200}, {2, 13, 31, 257},
+};
+
+TEST(GemmBlockedTest, NnMatchesNaiveBitwiseAcrossThreadCounts) {
+  ThreadGuard guard;
+  for (const Shape& sh : kShapes) {
+    const auto a = random_vec(sh.m * sh.k, 11 + sh.k);
+    const auto b = random_vec(sh.batch * sh.k * sh.n, 13 + sh.n);
+    for (const bool accumulate : {false, true}) {
+      auto expected = random_vec(sh.batch * sh.m * sh.n, 17);
+      naive_nn(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(), sh.k * sh.n,
+               expected.data(), sh.m * sh.n, accumulate);
+      for (const int threads : {1, 4}) {
+        common::set_num_threads(threads);
+        auto c = random_vec(sh.batch * sh.m * sh.n, 17);  // same garbage
+        gemm_nn_batched(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(),
+                        sh.k * sh.n, c.data(), sh.m * sh.n, accumulate);
+        for (std::size_t e = 0; e < c.size(); ++e)
+          ASSERT_EQ(c[e], expected[e])
+              << "batch=" << sh.batch << " m=" << sh.m << " n=" << sh.n
+              << " k=" << sh.k << " acc=" << accumulate
+              << " threads=" << threads << " elem=" << e;
+      }
+    }
+  }
+}
+
+TEST(GemmBlockedTest, TnMatchesNaiveBitwiseAcrossThreadCounts) {
+  ThreadGuard guard;
+  for (const Shape& sh : kShapes) {
+    const auto a = random_vec(sh.k * sh.m, 19 + sh.k);
+    const auto b = random_vec(sh.batch * sh.k * sh.n, 23 + sh.n);
+    for (const bool accumulate : {false, true}) {
+      auto expected = random_vec(sh.batch * sh.m * sh.n, 29);
+      naive_tn(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(), sh.k * sh.n,
+               expected.data(), sh.m * sh.n, accumulate);
+      for (const int threads : {1, 4}) {
+        common::set_num_threads(threads);
+        auto c = random_vec(sh.batch * sh.m * sh.n, 29);
+        gemm_tn_batched(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(),
+                        sh.k * sh.n, c.data(), sh.m * sh.n, accumulate);
+        for (std::size_t e = 0; e < c.size(); ++e)
+          ASSERT_EQ(c[e], expected[e])
+              << "batch=" << sh.batch << " m=" << sh.m << " n=" << sh.n
+              << " k=" << sh.k << " acc=" << accumulate
+              << " threads=" << threads << " elem=" << e;
+      }
+    }
+  }
+}
+
+TEST(GemmBlockedTest, ExactZerosInAContributeLikeAnyOtherValue) {
+  // The old kernels skipped a_ik == 0 entirely; the blocked kernels must
+  // not, and the naive reference (which never skips) pins the semantics.
+  ThreadGuard guard;
+  common::set_num_threads(1);
+  const std::size_t m = 6, n = 9, k = 140;
+  auto a = random_vec(m * k, 31);
+  for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
+  const auto b = random_vec(k * n, 37);
+  std::vector<float> expected(m * n), c(m * n);
+  naive_nn(1, m, n, k, a.data(), b.data(), 0, expected.data(), 0, false);
+  gemm_nn_batched(1, m, n, k, a.data(), b.data(), 0, c.data(), 0, false);
+  for (std::size_t e = 0; e < c.size(); ++e) ASSERT_EQ(c[e], expected[e]);
+}
+
+TEST(GemmBlockedTest, NtVariantsStayConsistentWithNaive) {
+  // gemm_nt / gemm_nt_batch_reduce use 4-lane dot products (they do
+  // reassociate), so they get a tolerance, not bitwise equality.
+  ThreadGuard guard;
+  common::set_num_threads(4);
+  const std::size_t batch = 3, m = 5, n = 7, k = 61;
+  const auto a = random_vec(batch * m * k, 41);
+  const auto b = random_vec(batch * n * k, 43);
+  std::vector<float> c(m * n, 0.0f);
+  gemm_nt(m, n, k, a.data(), b.data(), c.data(), false);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        ref += static_cast<double>(a[i * k + kk]) * b[j * k + kk];
+      EXPECT_NEAR(c[i * n + j], ref, 1e-4);
+    }
+  std::vector<float> cr(m * n, 0.0f);
+  gemm_nt_batch_reduce(batch, m, n, k, a.data(), m * k, b.data(), n * k,
+                       cr.data(), false);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (std::size_t s = 0; s < batch; ++s)
+        for (std::size_t kk = 0; kk < k; ++kk)
+          ref += static_cast<double>(a[s * m * k + i * k + kk]) *
+                 b[s * n * k + j * k + kk];
+      EXPECT_NEAR(cr[i * n + j], ref, 1e-3);
+    }
+}
+
+}  // namespace
+}  // namespace deepcsi::nn
