@@ -1,0 +1,196 @@
+// Streaming-service benchmark: how fast the async ingest queue +
+// batching scheduler + classify_batch path turns a multi-station stream
+// of feedback reports into per-station verdicts (the always-on observer
+// of the paper's deployment claim), across producer counts and
+// backpressure policies.
+//
+// Writes BENCH_serving.json for the perf trajectory:
+//   - serving_throughput: classified reports/s per {producers, policy}
+//   - batch_latency_p50_ms / p99 / max per configuration
+//   - verdicts_bit_identical: single-producer determinism across
+//     DEEPCSI_THREADS in {1, 4} (also rides the exit code)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "capture/monitor.h"
+#include "common/parallel.h"
+#include "common/report_queue.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "dataset/features.h"
+#include "dataset/traces.h"
+#include "phy/impairments.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+
+namespace {
+
+using namespace deepcsi;
+
+std::size_t max_batch_from_env() {
+  std::size_t batch = 64;
+  if (const char* s = std::getenv("DEEPCSI_BENCH_BATCH")) {
+    const long v = std::atol(s);
+    if (v >= 1) batch = static_cast<std::size_t>(v);
+  }
+  return batch;
+}
+
+// A multi-station base sequence: four stations, each emitting the reports
+// of a different module, interleaved frame by frame. replay loops this to
+// reach the measured report count.
+std::vector<capture::ObservedFeedback> make_stream(int stations,
+                                                   int reports_per_station) {
+  dataset::Scale scale;
+  scale.d1_snapshots_per_trace = reports_per_station;
+  std::vector<std::vector<feedback::CompressedFeedbackReport>> per_station;
+  for (int s = 0; s < stations; ++s) {
+    const dataset::Trace trace =
+        dataset::generate_d1_trace(s % phy::kNumModules, 1, 0, scale, {});
+    std::vector<feedback::CompressedFeedbackReport> reports;
+    for (const dataset::Snapshot& snap : trace.snapshots)
+      reports.push_back(snap.report);
+    per_station.push_back(std::move(reports));
+  }
+  std::vector<capture::ObservedFeedback> stream;
+  for (int i = 0; i < reports_per_station; ++i)
+    for (int s = 0; s < stations; ++s) {
+      capture::ObservedFeedback obs;
+      obs.timestamp_s = 0.001 * static_cast<double>(stream.size());
+      obs.beamformee = capture::MacAddress::for_station(s);
+      obs.beamformer = capture::MacAddress::for_module(0);
+      obs.report = per_station[static_cast<std::size_t>(s)][
+          static_cast<std::size_t>(i)];
+      stream.push_back(std::move(obs));
+    }
+  return stream;
+}
+
+serving::ServiceConfig service_config(common::OverflowPolicy policy,
+                                      std::size_t max_batch) {
+  serving::ServiceConfig cfg;
+  cfg.queue_capacity = 1024;
+  cfg.policy = policy;
+  cfg.scheduler.max_batch = max_batch;
+  cfg.scheduler.max_latency = std::chrono::milliseconds(2);
+  cfg.sessions.window = 31;
+  return cfg;
+}
+
+const char* policy_name(common::OverflowPolicy policy) {
+  switch (policy) {
+    case common::OverflowPolicy::kBlock: return "block";
+    case common::OverflowPolicy::kDropOldest: return "drop-oldest";
+    case common::OverflowPolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+void run_throughput_grid(const core::Authenticator& auth,
+                         const std::vector<capture::ObservedFeedback>& stream,
+                         int loops, bench::BenchReport& report) {
+  const std::size_t max_batch = max_batch_from_env();
+  std::printf("streaming service (%zu reports/loop x %d loops, batch<=%zu, "
+              "latency<=2ms, queue=1024)\n",
+              stream.size(), loops, max_batch);
+  std::printf("%10s %12s %14s %10s %10s %10s %9s\n", "producers", "policy",
+              "classified/s", "p50 ms", "p99 ms", "dropped", "batches");
+  for (const common::OverflowPolicy policy :
+       {common::OverflowPolicy::kBlock, common::OverflowPolicy::kDropOldest}) {
+    for (const int producers : {1, 2, 4}) {
+      serving::AuthService service(auth, service_config(policy, max_batch));
+      serving::ReplayConfig replay;
+      replay.loops = loops;
+      replay.producers = producers;
+      serving::replay_observed(service, stream, replay);
+      const serving::ServiceStats stats = service.stats();
+      std::printf("%10d %12s %14.1f %10.2f %10.2f %10zu %9zu\n", producers,
+                  policy_name(policy), stats.throughput_rps,
+                  stats.batch_latency_p50_ms, stats.batch_latency_p99_ms,
+                  stats.queue.dropped_oldest, stats.scheduler.batches);
+      const double policy_code =
+          policy == common::OverflowPolicy::kBlock ? 0.0 : 1.0;
+      std::vector<std::pair<std::string, double>> attrs = {
+          {"producers", static_cast<double>(producers)},
+          {"policy", policy_code},
+          {"max_batch", static_cast<double>(max_batch)}};
+      report.add_metric("serving_throughput", stats.throughput_rps,
+                        "reports/s", attrs);
+      report.add_metric("batch_latency_p50_ms", stats.batch_latency_p50_ms,
+                        "ms", attrs);
+      report.add_metric("batch_latency_p99_ms", stats.batch_latency_p99_ms,
+                        "ms", attrs);
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+// The determinism contract, end to end: one producer, fixed stream =>
+// bit-identical per-station verdicts whatever DEEPCSI_THREADS is.
+bool run_determinism_check(const core::Authenticator& auth,
+                           const std::vector<capture::ObservedFeedback>& stream,
+                           bench::BenchReport& report) {
+  const int original_threads = common::num_threads();
+  std::vector<serving::StationVerdict> reference;
+  bool identical = true;
+  for (const int threads : {1, 4}) {
+    common::set_num_threads(threads);
+    serving::AuthService service(
+        auth, service_config(common::OverflowPolicy::kBlock,
+                             max_batch_from_env()));
+    serving::ReplayConfig replay;  // single producer, one loop
+    serving::replay_observed(service, stream, replay);
+    const auto verdicts = service.sessions().snapshot();
+    if (reference.empty()) {
+      reference = verdicts;
+      continue;
+    }
+    if (verdicts.size() != reference.size()) identical = false;
+    for (std::size_t i = 0; identical && i < verdicts.size(); ++i)
+      identical = verdicts[i].station == reference[i].station &&
+                  verdicts[i].module_id == reference[i].module_id &&
+                  verdicts[i].votes == reference[i].votes &&
+                  verdicts[i].mean_confidence == reference[i].mean_confidence;
+  }
+  common::set_num_threads(original_threads);
+  std::printf("single-producer verdicts bit-identical across "
+              "DEEPCSI_THREADS {1,4}: %s\n\n",
+              identical ? "yes" : "NO");
+  report.add_metric("verdicts_bit_identical", identical ? 1.0 : 0.0, "bool");
+  std::fflush(stdout);
+  return identical;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("serving",
+                      "streaming multi-station authentication: async queue + "
+                      "batching scheduler + classify_batch");
+  bench::BenchReport report("serving");
+
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = dataset::scale_from_env().subcarrier_stride;
+  const core::ModelConfig model_cfg = dataset::full_scale_selected()
+                                          ? core::paper_model_config()
+                                          : core::quick_model_config();
+  const core::Authenticator auth(
+      core::build_deepcsi_model(dataset::num_input_channels(spec),
+                                static_cast<int>(dataset::num_input_columns(spec)),
+                                phy::kNumModules, model_cfg),
+      spec);
+
+  // 4 stations x 8 reports = 32 reports per loop; 16 loops = 512 reports
+  // measured per configuration (cheap enough for the CI smoke step, long
+  // enough that scheduler batching dominates startup).
+  const auto stream = make_stream(4, 8);
+  run_throughput_grid(auth, stream, 16, report);
+  const bool identical = run_determinism_check(auth, stream, report);
+
+  report.write_json();
+  return identical ? 0 : 1;
+}

@@ -27,6 +27,12 @@ std::string MacAddress::to_string() const {
   return buf;
 }
 
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t v = 0;
+  for (const std::uint8_t o : octets) v = (v << 8) | o;
+  return v;
+}
+
 MacAddress MacAddress::for_module(int module_id) {
   DEEPCSI_CHECK(module_id >= 0 && module_id < 256);
   // Compex-style OUI with the module index in the last octet.

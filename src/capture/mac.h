@@ -14,6 +14,13 @@ struct MacAddress {
   static MacAddress parse(const std::string& text);  // "aa:bb:cc:dd:ee:ff"
   std::string to_string() const;
   bool operator==(const MacAddress&) const = default;
+  // Lexicographic octet order — lets tables of stations sort and print
+  // deterministically.
+  auto operator<=>(const MacAddress&) const = default;
+
+  // The 48 address bits as one integer (big-endian octet order): the
+  // session-table key and the input to shard hashing.
+  std::uint64_t to_u64() const;
 
   // Deterministic testbed addressing: the AP keeps one BSSID while only the
   // Wi-Fi module changes; stations get their own OUI.

@@ -1,0 +1,165 @@
+// Bounded MPMC queue for the streaming serving path, with an explicit
+// backpressure policy chosen by the producer side:
+//
+//   kBlock      — push() waits for space (lossless; producers absorb the
+//                 pressure, as when replaying a capture at full speed).
+//   kDropOldest — push() evicts the oldest undrained item to make room
+//                 (freshness-first; a live monitor prefers recent frames
+//                 over stale ones when the classifier falls behind).
+//   kReject     — push() fails immediately when full (load shedding at
+//                 the edge; the caller sees the refusal and can count it).
+//
+// Plain mutex + two condition variables. The queue is deliberately not
+// lock-free: serving batches are drained dozens-at-a-time, so the lock is
+// held far from often enough to matter, and the simple structure keeps
+// FIFO order exact — which the determinism contract (single producer =>
+// bit-identical verdicts at any DEEPCSI_THREADS) relies on.
+//
+// Depth / drop / reject counters are exposed via stats() so the service
+// and benches can report backpressure behaviour, and tests can assert the
+// exact policy semantics.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace deepcsi::common {
+
+enum class OverflowPolicy { kBlock, kDropOldest, kReject };
+
+// Outcome of a deadline-bounded pop: got an item, gave up at the deadline
+// (queue still open), or found the queue closed and fully drained. The
+// three cases are distinguished at the moment the queue lock is held, so
+// callers never race a concurrent close() when labelling the outcome.
+enum class PopStatus { kItem, kTimeout, kClosed };
+
+struct QueueStats {
+  std::size_t depth = 0;           // items currently queued
+  std::size_t peak_depth = 0;      // high-water mark
+  std::size_t pushed = 0;          // items accepted (includes later drops)
+  std::size_t popped = 0;          // items handed to consumers
+  std::size_t dropped_oldest = 0;  // evicted by kDropOldest
+  std::size_t rejected = 0;        // refused by kReject (or push-after-close)
+};
+
+template <typename T>
+class ReportQueue {
+ public:
+  ReportQueue(std::size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  ReportQueue(const ReportQueue&) = delete;
+  ReportQueue& operator=(const ReportQueue&) = delete;
+
+  // Producer side. Returns true iff the item entered the queue. Under
+  // kBlock a full queue makes the caller wait; under kDropOldest the
+  // oldest queued item is discarded to make room (the push itself always
+  // succeeds); under kReject a full queue refuses the item. Pushing to a
+  // closed queue always fails.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) {
+      ++stats_.rejected;
+      return false;
+    }
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock:
+          space_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+          if (closed_) {
+            ++stats_.rejected;
+            return false;
+          }
+          break;
+        case OverflowPolicy::kDropOldest:
+          items_.pop_front();
+          ++stats_.dropped_oldest;
+          break;
+        case OverflowPolicy::kReject:
+          ++stats_.rejected;
+          return false;
+      }
+    }
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    if (items_.size() > stats_.peak_depth) stats_.peak_depth = items_.size();
+    ready_.notify_one();
+    return true;
+  }
+
+  // Consumer side: blocks until an item arrives. Returns false only once
+  // the queue is closed AND drained (pending items are always delivered).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return take_locked(out);
+  }
+
+  // As pop(), but gives up at `deadline`; the status says why no item was
+  // delivered (timeout vs closed-and-drained), decided under the lock.
+  template <typename Clock, typename Duration>
+  PopStatus pop_until(T& out,
+                      const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!ready_.wait_until(lock, deadline,
+                           [&] { return !items_.empty() || closed_; }))
+      return PopStatus::kTimeout;
+    return take_locked(out) ? PopStatus::kItem : PopStatus::kClosed;
+  }
+
+  // Non-blocking pop; returns false when the queue is momentarily empty.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return take_locked(out);
+  }
+
+  // Wakes all waiters. Producers fail from here on; consumers drain what
+  // is left, then see "closed".
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  QueueStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    QueueStats s = stats_;
+    s.depth = items_.size();
+    return s;
+  }
+
+ private:
+  bool take_locked(T& out) {
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.popped;
+    space_.notify_one();
+    return true;
+  }
+
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;  // consumers wait for items
+  std::condition_variable space_;  // kBlock producers wait for room
+  std::deque<T> items_;
+  QueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace deepcsi::common

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -117,6 +118,27 @@ void Authenticator::save(const std::string& path) {
 
 void Authenticator::load(const std::string& path) {
   nn::load_weights(model_, path);
+}
+
+void save_model_meta(const std::string& weights_path,
+                     const std::map<std::string, int>& meta) {
+  const std::string path = weights_path + ".meta";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  DEEPCSI_CHECK(f != nullptr);
+  for (const auto& [key, value] : meta)
+    std::fprintf(f, "%s=%d\n", key.c_str(), value);
+  std::fclose(f);
+}
+
+std::map<std::string, int> load_model_meta(const std::string& weights_path) {
+  std::map<std::string, int> meta;
+  std::FILE* f = std::fopen((weights_path + ".meta").c_str(), "r");
+  if (f == nullptr) return meta;
+  char key[32];
+  int value = 0;
+  while (std::fscanf(f, "%31[^=]=%d\n", key, &value) == 2) meta[key] = value;
+  std::fclose(f);
+  return meta;
 }
 
 Authenticator train_authenticator(const dataset::SplitSets& split,

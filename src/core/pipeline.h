@@ -3,6 +3,7 @@
 // feedback reports (the full workflow of Fig. 1 / Fig. 3).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
@@ -81,5 +82,13 @@ class Authenticator {
 Authenticator train_authenticator(const dataset::SplitSets& split,
                                   const dataset::InputSpec& spec,
                                   const ExperimentConfig& cfg);
+
+// Sidecar metadata next to saved weights ("<weights>.meta", key=value
+// ints): records the training-time architecture knobs so the serving side
+// can rebuild the exact model without the user re-passing flags. Loading
+// a missing sidecar returns an empty map; saving overwrites.
+void save_model_meta(const std::string& weights_path,
+                     const std::map<std::string, int>& meta);
+std::map<std::string, int> load_model_meta(const std::string& weights_path);
 
 }  // namespace deepcsi::core

@@ -1,0 +1,121 @@
+#include "serving/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace deepcsi::serving {
+
+namespace {
+
+// Nearest-rank percentile over an ascending-sorted sample.
+double percentile_ms(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+}  // namespace
+
+AuthService::AuthService(const core::Authenticator& auth, ServiceConfig cfg)
+    : auth_(auth),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity, cfg.policy),
+      sessions_(cfg.sessions),
+      scheduler_(queue_, cfg.scheduler,
+                 [this](std::vector<PendingReport>&& batch, FlushReason reason) {
+                   on_batch(std::move(batch), reason);
+                 }) {}
+
+AuthService::~AuthService() { drain(); }
+
+void AuthService::start() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    DEEPCSI_CHECK(!started_);
+    started_ = true;
+    started_at_ = std::chrono::steady_clock::now();
+  }
+  scheduler_.start();
+}
+
+bool AuthService::submit(const capture::ObservedFeedback& obs) {
+  return submit(obs.beamformee, obs.timestamp_s, obs.report);
+}
+
+bool AuthService::submit(capture::MacAddress station, double timestamp_s,
+                         feedback::CompressedFeedbackReport report) {
+  PendingReport item;
+  item.station = station;
+  item.timestamp_s = timestamp_s;
+  item.report = std::move(report);
+  item.enqueued_at = std::chrono::steady_clock::now();
+  return queue_.push(std::move(item));
+}
+
+void AuthService::drain() {
+  queue_.close();
+  scheduler_.join();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (started_ && !drained_) {
+    drained_ = true;
+    drained_at_ = std::chrono::steady_clock::now();
+  }
+}
+
+void AuthService::on_batch(std::vector<PendingReport>&& batch,
+                           FlushReason /*reason*/) {
+  if (batch.empty()) return;
+  const auto oldest_enqueued = batch.front().enqueued_at;
+
+  batch_reports_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch_reports_[i] = std::move(batch[i].report);
+
+  const std::vector<core::Authenticator::Prediction> preds =
+      auth_.classify_batch(batch_reports_);
+
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    sessions_.record(batch[i].station, preds[i], batch[i].timestamp_s);
+
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - oldest_enqueued)
+          .count();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  reports_classified_ += batch.size();
+  if (batch_latency_ms_.size() < kLatencyRing) {
+    batch_latency_ms_.push_back(latency_ms);
+  } else {
+    batch_latency_ms_[latency_next_] = latency_ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyRing;
+  }
+  if (latency_ms > batch_latency_max_ms_) batch_latency_max_ms_ = latency_ms;
+}
+
+ServiceStats AuthService::stats() const {
+  ServiceStats s;
+  s.queue = queue_.stats();
+  s.scheduler = scheduler_.stats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.reports_classified = reports_classified_;
+  if (started_) {
+    const auto end =
+        drained_ ? drained_at_ : std::chrono::steady_clock::now();
+    s.wall_seconds = std::chrono::duration<double>(end - started_at_).count();
+    if (s.wall_seconds > 0.0)
+      s.throughput_rps =
+          static_cast<double>(reports_classified_) / s.wall_seconds;
+  }
+  std::vector<double> sorted = batch_latency_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.batch_latency_p50_ms = percentile_ms(sorted, 0.50);
+  s.batch_latency_p99_ms = percentile_ms(sorted, 0.99);
+  s.batch_latency_max_ms = batch_latency_max_ms_;
+  return s;
+}
+
+}  // namespace deepcsi::serving

@@ -1,0 +1,118 @@
+// The streaming authentication service: the glue that turns the offline
+// pipeline into a long-running multi-station observer (the deployment of
+// Fig. 1 — a passive monitor fingerprinting every beamformee it can hear).
+//
+//   producers ──> ReportQueue ──> BatchingScheduler ──> classify_batch
+//   (capture /      (bounded,        (single consumer,     (fans out on
+//    replay          backpressure     flush at max_batch    the global
+//    threads)        policy)          or max_latency)       thread pool)
+//                                          │
+//                                          └──> SessionTable (per-station
+//                                               rolling majority verdict)
+//
+// Any number of producer threads call submit(); one scheduler thread owns
+// the Authenticator (classify_batch is not reentrant) and parallelism
+// comes from the thread pool inside it. With a single producer the item
+// order — and therefore every per-station verdict, vote count and mean
+// confidence — is bit-identical for any DEEPCSI_THREADS and any batch
+// timing, because per-report predictions do not depend on batch
+// composition.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "capture/monitor.h"
+#include "common/report_queue.h"
+#include "core/pipeline.h"
+#include "serving/scheduler.h"
+#include "serving/session_table.h"
+
+namespace deepcsi::serving {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 1024;
+  common::OverflowPolicy policy = common::OverflowPolicy::kBlock;
+  SchedulerConfig scheduler;  // max_batch / max_latency
+  SessionConfig sessions;     // verdict window / shard count
+};
+
+struct ServiceStats {
+  common::QueueStats queue;
+  SchedulerStats scheduler;
+  std::size_t reports_classified = 0;
+  double wall_seconds = 0.0;       // start() .. drain() (or "so far")
+  double throughput_rps = 0.0;     // reports_classified / wall_seconds
+  // Batch latency = enqueue of the batch's oldest report -> verdicts
+  // recorded; the end-to-end staleness of the slowest report in a batch.
+  double batch_latency_p50_ms = 0.0;
+  double batch_latency_p99_ms = 0.0;
+  double batch_latency_max_ms = 0.0;
+};
+
+// One report waiting for the classifier.
+struct PendingReport {
+  capture::MacAddress station;
+  double timestamp_s = 0.0;
+  feedback::CompressedFeedbackReport report;
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+class AuthService {
+ public:
+  // The Authenticator must outlive the service; the service never mutates
+  // its weights, it only runs forward passes from the scheduler thread.
+  AuthService(const core::Authenticator& auth, ServiceConfig cfg);
+  ~AuthService();
+
+  AuthService(const AuthService&) = delete;
+  AuthService& operator=(const AuthService&) = delete;
+
+  void start();
+
+  // Producer entry points (thread-safe). Returns false when the report
+  // was not accepted: service draining, or kReject policy with a full
+  // queue. Under kDropOldest acceptance always succeeds but may evict the
+  // oldest queued report (counted in stats().queue.dropped_oldest).
+  bool submit(const capture::ObservedFeedback& obs);
+  bool submit(capture::MacAddress station, double timestamp_s,
+              feedback::CompressedFeedbackReport report);
+
+  // Stops intake, classifies everything still queued, and joins the
+  // scheduler thread. Idempotent.
+  void drain();
+
+  ServiceStats stats() const;
+  const SessionTable& sessions() const { return sessions_; }
+
+ private:
+  void on_batch(std::vector<PendingReport>&& batch, FlushReason reason);
+
+  const core::Authenticator& auth_;
+  ServiceConfig cfg_;
+  common::ReportQueue<PendingReport> queue_;
+  SessionTable sessions_;
+  BatchingScheduler<PendingReport> scheduler_;
+
+  // Scheduler-thread scratch: report storage reused across batches so a
+  // flush moves payloads instead of copying them.
+  std::vector<feedback::CompressedFeedbackReport> batch_reports_;
+
+  mutable std::mutex stats_mu_;
+  std::size_t reports_classified_ = 0;
+  // Latency percentiles are computed over the most recent batches only —
+  // a fixed-size ring, so a long-running service never grows this and a
+  // stats() call stays O(ring size), not O(lifetime batches).
+  static constexpr std::size_t kLatencyRing = 4096;
+  std::vector<double> batch_latency_ms_;  // ring storage, <= kLatencyRing
+  std::size_t latency_next_ = 0;          // ring write cursor
+  double batch_latency_max_ms_ = 0.0;     // lifetime max, not windowed
+  std::chrono::steady_clock::time_point started_at_{};
+  std::chrono::steady_clock::time_point drained_at_{};
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace deepcsi::serving

@@ -1,0 +1,117 @@
+#include "serving/session_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace deepcsi::serving {
+
+namespace {
+
+// splitmix64 finalizer: spreads the 48 meaningful MAC bits across the
+// word so consecutive station ids (same OUI, last octet counting up)
+// land on different shards.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+capture::MacAddress mac_from_u64(std::uint64_t key) {
+  capture::MacAddress mac;
+  for (int i = 5; i >= 0; --i) {
+    mac.octets[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(key & 0xFFu);
+    key >>= 8;
+  }
+  return mac;
+}
+
+}  // namespace
+
+SessionTable::SessionTable(SessionConfig cfg) : cfg_(cfg) {
+  DEEPCSI_CHECK(cfg_.window >= 1);
+  if (cfg_.num_shards == 0) cfg_.num_shards = 1;
+  shards_ = std::make_unique<Shard[]>(cfg_.num_shards);
+}
+
+SessionTable::Shard& SessionTable::shard_for(std::uint64_t key) const {
+  return shards_[mix(key) % cfg_.num_shards];
+}
+
+void SessionTable::record(const capture::MacAddress& station,
+                          const core::Authenticator::Prediction& prediction,
+                          double timestamp_s) {
+  const std::uint64_t key = station.to_u64();
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Session& s = shard.sessions[key];
+  if (s.window.size() == cfg_.window) {
+    const auto& [old_id, old_conf] = s.window.front();
+    auto it = s.counts.find(old_id);
+    if (--it->second == 0) s.counts.erase(it);
+    s.confidence_sum -= old_conf;
+    s.window.pop_front();
+  }
+  s.window.emplace_back(prediction.module_id, prediction.confidence);
+  ++s.counts[prediction.module_id];
+  s.confidence_sum += prediction.confidence;
+  ++s.total_reports;
+  s.last_timestamp_s = timestamp_s;
+}
+
+StationVerdict SessionTable::verdict_of(std::uint64_t key, const Session& s) {
+  StationVerdict v;
+  v.station = mac_from_u64(key);
+  v.window_size = s.window.size();
+  v.total_reports = s.total_reports;
+  v.last_timestamp_s = s.last_timestamp_s;
+  if (!s.window.empty())
+    v.mean_confidence = s.confidence_sum / static_cast<double>(s.window.size());
+  // std::map iterates module ids ascending, so on a tie the lowest id wins
+  // — a fixed, documented rule rather than an accident of hashing.
+  for (const auto& [id, count] : s.counts) {
+    if (count > v.votes) {
+      v.module_id = id;
+      v.votes = count;
+    }
+  }
+  return v;
+}
+
+std::optional<StationVerdict> SessionTable::verdict(
+    const capture::MacAddress& station) const {
+  const std::uint64_t key = station.to_u64();
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.sessions.find(key);
+  if (it == shard.sessions.end()) return std::nullopt;
+  return verdict_of(key, it->second);
+}
+
+std::vector<StationVerdict> SessionTable::snapshot() const {
+  std::vector<StationVerdict> out;
+  for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, session] : shard.sessions)
+      out.push_back(verdict_of(key, session));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StationVerdict& a, const StationVerdict& b) {
+              return a.station < b.station;
+            });
+  return out;
+}
+
+std::size_t SessionTable::num_stations() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    n += shards_[i].sessions.size();
+  }
+  return n;
+}
+
+}  // namespace deepcsi::serving

@@ -1,0 +1,88 @@
+// Per-station session state for the streaming observer: a sharded hash
+// table keyed by beamformee MAC, each session keeping a rolling window of
+// the classifier's last W predictions and the majority-vote verdict over
+// that window — the paper's per-device decision rule (Sec. V: a device is
+// fingerprinted by the most frequent predicted module across its recent
+// feedback frames), run online.
+//
+// Sharding bounds lock contention when many producers and the scheduler
+// touch the table concurrently: a station maps to exactly one shard (by a
+// mixed hash of its MAC), so two stations on different shards never
+// serialize on each other. All verdict math is integer counting over a
+// fixed window, so results depend only on the per-station sequence of
+// predictions, never on sharding or timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "capture/mac.h"
+#include "core/pipeline.h"
+
+namespace deepcsi::serving {
+
+struct SessionConfig {
+  std::size_t window = 31;     // rolling votes per station (odd avoids ties)
+  std::size_t num_shards = 8;  // power of two recommended, not required
+};
+
+// The decision for one station, as of the last recorded prediction.
+struct StationVerdict {
+  capture::MacAddress station;
+  int module_id = -1;            // majority over the window; ties -> lowest id
+  std::size_t votes = 0;         // window votes for module_id
+  std::size_t window_size = 0;   // predictions currently in the window
+  std::size_t total_reports = 0; // lifetime predictions for this station
+  double mean_confidence = 0.0;  // over the current window
+  double last_timestamp_s = 0.0;
+};
+
+class SessionTable {
+ public:
+  explicit SessionTable(SessionConfig cfg);
+
+  // Fold one classifier prediction into the station's window. Thread-safe;
+  // calls for the same station must arrive in stream order for the verdict
+  // to be meaningful (the scheduler's FIFO drain guarantees this).
+  void record(const capture::MacAddress& station,
+              const core::Authenticator::Prediction& prediction,
+              double timestamp_s);
+
+  // Current verdict for one station, if it has been seen.
+  std::optional<StationVerdict> verdict(const capture::MacAddress& station) const;
+
+  // All stations, sorted by MAC for deterministic reporting.
+  std::vector<StationVerdict> snapshot() const;
+
+  std::size_t num_stations() const;
+  const SessionConfig& config() const { return cfg_; }
+
+ private:
+  struct Session {
+    // (module_id, confidence) pairs, oldest first, at most cfg_.window.
+    std::deque<std::pair<int, double>> window;
+    std::map<int, std::size_t> counts;  // votes per module inside the window
+    double confidence_sum = 0.0;
+    std::size_t total_reports = 0;
+    double last_timestamp_s = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Session> sessions;
+  };
+
+  Shard& shard_for(std::uint64_t key) const;
+  static StationVerdict verdict_of(std::uint64_t key, const Session& s);
+
+  SessionConfig cfg_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace deepcsi::serving

@@ -129,7 +129,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(RotationKernelTest, ReconstructIntoReusesScratchAcrossGeometries) {
   std::mt19937_64 rng(77);
   CMat scratch;  // deliberately shared across shapes and calls
-  for (const auto [m, nss] : {std::pair<int, int>{4, 4},
+  for (const auto& [m, nss] : {std::pair<int, int>{4, 4},
                               std::pair<int, int>{2, 1},
                               std::pair<int, int>{3, 2}}) {
     for (int trial = 0; trial < 5; ++trial) {

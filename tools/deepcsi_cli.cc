@@ -7,15 +7,23 @@
 //   deepcsi classify --model MODEL.bin --pcap FILE.pcap [--stride S]
 //       Run the observer on a capture: parse frames, fingerprint each
 //       feedback report, print per-frame predictions and the majority vote.
+//   deepcsi serve --model MODEL.bin --pcap FILE.pcap [--loop N] [--rate R]
+//       Replay a capture through the streaming authentication service:
+//       async ingest queue -> batching scheduler -> classify_batch ->
+//       per-station rolling majority verdicts, plus throughput/latency
+//       stats. `--loop` repeats the capture, `--rate` paces it.
 //   deepcsi inspect --pcap FILE.pcap
 //       Decode VHT Compressed Beamforming frames (Wireshark-style).
 //
 // The tool works on the same artifacts the examples produce (e.g.
 // examples/dataset_export emits .dcst archives and per-trace pcaps).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,6 +32,8 @@
 #include "dataset/io.h"
 #include "dataset/splits.h"
 #include "nn/serialize.h"
+#include "serving/replay.h"
+#include "serving/service.h"
 
 namespace {
 
@@ -36,9 +46,37 @@ struct Args {
     const auto it = named.find(k);
     return it == named.end() ? fallback : it->second;
   }
+  // Malformed numbers are a usage error, not an uncaught std::stoi throw:
+  // "--epochs foo" must print a diagnostic and exit 2, never abort.
   int get_int(const std::string& k, int fallback) const {
     const auto it = named.find(k);
-    return it == named.end() ? fallback : std::stoi(it->second);
+    if (it == named.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const int value = std::stoi(it->second, &consumed);
+      if (consumed != it->second.size())
+        throw std::invalid_argument("trailing characters");
+      return value;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "invalid integer for --%s: '%s'\n", k.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+  }
+  double get_double(const std::string& k, double fallback) const {
+    const auto it = named.find(k);
+    if (it == named.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(it->second, &consumed);
+      if (consumed != it->second.size())
+        throw std::invalid_argument("trailing characters");
+      return value;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "invalid number for --%s: '%s'\n", k.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
   }
 };
 
@@ -62,13 +100,18 @@ Args parse_args(int argc, char** argv, int from) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: deepcsi <generate|train|classify|inspect> [options]\n"
+               "usage: deepcsi <generate|train|classify|serve|inspect> [options]\n"
                "  generate --out DIR [--modules M=10] [--positions P=3] "
                "[--snapshots N=12] [--seed S=17]\n"
                "  train    --data FILE.dcst --out MODEL.bin [--epochs E=18] "
                "[--stride S=2] [--filters F=32]\n"
                "  classify --model MODEL.bin --pcap FILE.pcap [--stride S=2] "
                "[--filters F=32]\n"
+               "  serve    --model MODEL.bin --pcap FILE.pcap [--loop N=1] "
+               "[--producers P=1] [--rate RPS=0]\n"
+               "           [--batch B=64] [--latency-us L=2000] "
+               "[--policy block|drop-oldest|reject] [--queue C=1024] "
+               "[--window W=31]\n"
                "  inspect  --pcap FILE.pcap [--max N=5]\n");
   return 2;
 }
@@ -84,6 +127,24 @@ core::ExperimentConfig config_from(const Args& args) {
   cfg.train.epochs = args.get_int("epochs", cfg.train.epochs);
   cfg.model.filters = args.get_int("filters", cfg.model.filters);
   return cfg;
+}
+
+// Rebuild the Authenticator saved by `train`: the ".meta" sidecar restores
+// the training-time architecture; explicit flags still override.
+core::Authenticator load_authenticator(const Args& args) {
+  Args effective = args;
+  for (const auto& [key, value] : core::load_model_meta(args.get("model")))
+    if (!effective.has(key)) effective.named[key] = std::to_string(value);
+  const dataset::InputSpec spec = spec_from(effective);
+  const core::ExperimentConfig cfg = config_from(effective);
+
+  nn::Sequential model = core::build_deepcsi_model(
+      dataset::num_input_channels(spec),
+      static_cast<int>(dataset::num_input_columns(spec)), phy::kNumModules,
+      cfg.model);
+  core::Authenticator auth(std::move(model), spec);
+  auth.load(args.get("model"));
+  return auth;
 }
 
 int cmd_generate(const Args& args) {
@@ -131,14 +192,10 @@ int cmd_train(const Args& args) {
   std::printf("train: final training-set accuracy %.1f%%\n",
               100.0 * cm.accuracy());
   auth.save(args.get("out"));
-  // Sidecar metadata so `classify` can rebuild the same architecture
-  // without the user re-passing flags.
-  const std::string meta_path = args.get("out") + ".meta";
-  if (std::FILE* meta = std::fopen(meta_path.c_str(), "w")) {
-    std::fprintf(meta, "filters=%d\nstride=%d\n", cfg.model.filters,
-                 spec.subcarrier_stride);
-    std::fclose(meta);
-  }
+  // Sidecar metadata so `classify` / `serve` can rebuild the same
+  // architecture without the user re-passing flags.
+  core::save_model_meta(args.get("out"), {{"filters", cfg.model.filters},
+                                          {"stride", spec.subcarrier_stride}});
   std::printf("train: weights written to %s (+ .meta)\n",
               args.get("out").c_str());
   return 0;
@@ -146,26 +203,7 @@ int cmd_train(const Args& args) {
 
 int cmd_classify(const Args& args) {
   if (!args.has("model") || !args.has("pcap")) return usage();
-  // Prefer the training-time architecture recorded next to the weights;
-  // explicit flags still override.
-  Args effective = args;
-  if (std::FILE* meta = std::fopen((args.get("model") + ".meta").c_str(), "r")) {
-    char key[32];
-    int value = 0;
-    while (std::fscanf(meta, "%31[^=]=%d\n", key, &value) == 2) {
-      if (!effective.has(key)) effective.named[key] = std::to_string(value);
-    }
-    std::fclose(meta);
-  }
-  const dataset::InputSpec spec = spec_from(effective);
-  const core::ExperimentConfig cfg = config_from(effective);
-
-  nn::Sequential model = core::build_deepcsi_model(
-      dataset::num_input_channels(spec),
-      static_cast<int>(dataset::num_input_columns(spec)), phy::kNumModules,
-      cfg.model);
-  core::Authenticator auth(std::move(model), spec);
-  auth.load(args.get("model"));
+  const core::Authenticator auth = load_authenticator(args);
 
   const auto packets = capture::read_pcap(args.get("pcap"));
   const auto observed = capture::observe_feedback(packets, std::nullopt);
@@ -191,6 +229,97 @@ int cmd_classify(const Args& args) {
   std::printf("classify: majority vote -> module %d (%d/%zu frames)\n", best,
               best_count, observed.size());
   return 0;
+}
+
+int cmd_serve(const Args& args) {
+  if (!args.has("model") || !args.has("pcap")) return usage();
+
+  // Validate every knob before touching the model or capture: a bad flag
+  // should fail fast with a usage error, not after a weights load.
+  const int queue_capacity = args.get_int("queue", 1024);
+  const int max_batch = args.get_int("batch", 64);
+  const int latency_us = args.get_int("latency-us", 2000);
+  const int window = args.get_int("window", 31);
+  if (queue_capacity < 1 || max_batch < 1 || latency_us < 0 || window < 1) {
+    std::fprintf(stderr,
+                 "serve: --queue/--batch/--window must be >= 1 and "
+                 "--latency-us >= 0\n");
+    return 2;
+  }
+  serving::ServiceConfig cfg;
+  cfg.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  cfg.scheduler.max_batch = static_cast<std::size_t>(max_batch);
+  cfg.scheduler.max_latency = std::chrono::microseconds(latency_us);
+  cfg.sessions.window = static_cast<std::size_t>(window);
+  const std::string policy = args.get("policy", "block");
+  if (policy == "block") {
+    cfg.policy = common::OverflowPolicy::kBlock;
+  } else if (policy == "drop-oldest") {
+    cfg.policy = common::OverflowPolicy::kDropOldest;
+  } else if (policy == "reject") {
+    cfg.policy = common::OverflowPolicy::kReject;
+  } else {
+    std::fprintf(stderr, "serve: unknown --policy '%s'\n", policy.c_str());
+    return 2;
+  }
+
+  serving::ReplayConfig replay;
+  replay.loops = args.get_int("loop", 1);
+  replay.producers = args.get_int("producers", 1);
+  replay.rate_rps = args.get_double("rate", 0.0);
+  if (replay.loops < 1 || replay.producers < 1 || replay.rate_rps < 0.0) {
+    std::fprintf(stderr, "serve: --loop/--producers/--rate out of range\n");
+    return 2;
+  }
+
+  const core::Authenticator auth = load_authenticator(args);
+  const auto packets = capture::read_pcap(args.get("pcap"));
+  const auto observed = capture::observe_feedback(packets, std::nullopt);
+  if (observed.empty()) {
+    std::printf("serve: no decodable beamforming feedback in capture\n");
+    return 1;
+  }
+
+  if (replay.producers > replay.loops)
+    std::fprintf(stderr,
+                 "serve: note: only whole loops are dealt to producers — "
+                 "--producers %d clamped to --loop %d\n",
+                 replay.producers, replay.loops);
+  std::printf("serve: %zu reports/loop x %d loop(s), %d producer(s), "
+              "policy=%s, batch<=%zu, latency<=%dus\n",
+              observed.size(), replay.loops,
+              std::min(replay.producers, replay.loops), policy.c_str(),
+              cfg.scheduler.max_batch, latency_us);
+
+  serving::AuthService service(auth, cfg);
+  const serving::ReplayResult rr =
+      serving::replay_observed(service, observed, replay);
+  const serving::ServiceStats stats = service.stats();
+
+  std::printf("\nper-station verdicts (rolling window of %zu):\n",
+              cfg.sessions.window);
+  for (const serving::StationVerdict& v : service.sessions().snapshot())
+    std::printf("  %s -> module %d (%zu/%zu window votes, mean confidence "
+                "%.2f, %zu reports, last t=%.3fs)\n",
+                v.station.to_string().c_str(), v.module_id, v.votes,
+                v.window_size, v.mean_confidence, v.total_reports,
+                v.last_timestamp_s);
+
+  std::printf("\nserve: %zu/%zu reports accepted, %zu classified in %.3fs "
+              "(%.0f reports/s)\n",
+              rr.accepted, rr.offered, stats.reports_classified,
+              stats.wall_seconds, stats.throughput_rps);
+  std::printf("serve: %zu batches (full=%zu deadline=%zu drain=%zu, "
+              "largest=%zu), batch latency p50=%.2fms p99=%.2fms max=%.2fms\n",
+              stats.scheduler.batches, stats.scheduler.flush_full,
+              stats.scheduler.flush_deadline, stats.scheduler.flush_drain,
+              stats.scheduler.max_batch_seen, stats.batch_latency_p50_ms,
+              stats.batch_latency_p99_ms, stats.batch_latency_max_ms);
+  std::printf("serve: queue peak depth %zu/%zu, dropped-oldest=%zu "
+              "rejected=%zu\n",
+              stats.queue.peak_depth, cfg.queue_capacity,
+              stats.queue.dropped_oldest, stats.queue.rejected);
+  return stats.reports_classified > 0 ? 0 : 1;
 }
 
 int cmd_inspect(const Args& args) {
@@ -226,6 +355,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "classify") return cmd_classify(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "inspect") return cmd_inspect(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "deepcsi %s: %s\n", cmd.c_str(), e.what());
