@@ -1,0 +1,255 @@
+// Inference-architecture benchmark: what the SharedModel /
+// InferenceContext split buys over the legacy stateful forward, and how
+// serving throughput scales with consumer lanes.
+//
+// Writes BENCH_infer.json for the perf trajectory:
+//   - infer_throughput: classified reports/s through the arena-planned
+//     context-pool path (path=1) vs the legacy Sequential::forward +
+//     softmax path (path=0), same batch size and thread count
+//   - serving_consumer_throughput: AuthService classified reports/s at
+//     1 / 2 / 4 consumer lanes
+//   - context_matches_legacy: logits of the const forward are bitwise
+//     identical to the stateful forward (also rides the exit code)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "capture/monitor.h"
+#include "common/parallel.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "dataset/features.h"
+#include "dataset/traces.h"
+#include "nn/infer.h"
+#include "nn/loss.h"
+#include "phy/impairments.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+
+namespace {
+
+using namespace deepcsi;
+
+std::size_t batch_from_env() {
+  std::size_t batch = 64;
+  if (const char* s = std::getenv("DEEPCSI_BENCH_BATCH")) {
+    const long v = std::atol(s);
+    if (v >= 1) batch = static_cast<std::size_t>(v);
+  }
+  return batch;
+}
+
+std::vector<feedback::CompressedFeedbackReport> make_reports(std::size_t n) {
+  dataset::Scale scale;
+  scale.d1_snapshots_per_trace = 8;
+  std::vector<feedback::CompressedFeedbackReport> reports;
+  int module = 0;
+  while (reports.size() < n) {
+    const dataset::Trace trace = dataset::generate_d1_trace(
+        module % phy::kNumModules, 1, 0, scale, dataset::GeneratorConfig{});
+    for (const dataset::Snapshot& s : trace.snapshots) {
+      if (reports.size() == n) break;
+      reports.push_back(s.report);
+    }
+    ++module;
+  }
+  return reports;
+}
+
+// The pre-refactor serving path: one stateful Sequential::forward over a
+// packed batch tensor, then softmax + argmax. Kept here (not in the
+// library) as the measured "before".
+std::vector<core::Authenticator::Prediction> legacy_classify_batch(
+    nn::Sequential& model, const dataset::InputSpec& spec,
+    const std::vector<feedback::CompressedFeedbackReport>& reports) {
+  const std::size_t c =
+      static_cast<std::size_t>(dataset::num_input_channels(spec));
+  const std::size_t w = dataset::num_input_columns(spec);
+  nn::Tensor x({reports.size(), c, 1, w});
+  common::parallel_for(
+      0, reports.size(), common::grain_for(c * w * 64),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          dataset::fill_features(reports[i], spec, x.data() + i * c * w);
+      });
+  const nn::Tensor probs = nn::softmax(model.forward(x, /*training=*/false));
+  const std::size_t k = probs.dim(1);
+  std::vector<core::Authenticator::Prediction> out(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const float* row = probs.data() + i * k;
+    const std::size_t best =
+        static_cast<std::size_t>(std::max_element(row, row + k) - row);
+    out[i] = {static_cast<int>(best), static_cast<double>(row[best])};
+  }
+  return out;
+}
+
+double measure_reports_per_second(std::size_t reports_per_rep, int reps,
+                                  const std::function<void()>& body) {
+  body();  // warm-up: contexts, pack scratch, feature scratch
+  bench::Stopwatch watch;
+  for (int rep = 0; rep < reps; ++rep) body();
+  const double seconds = watch.seconds();
+  return seconds > 0.0
+             ? static_cast<double>(reports_per_rep) * reps / seconds
+             : 0.0;
+}
+
+bool forward_paths_bitwise_identical(const core::Authenticator& auth,
+                                     nn::Sequential& legacy_model,
+                                     const dataset::InputSpec& spec,
+                                     const std::vector<
+                                         feedback::CompressedFeedbackReport>&
+                                         reports) {
+  const std::size_t c =
+      static_cast<std::size_t>(dataset::num_input_channels(spec));
+  const std::size_t w = dataset::num_input_columns(spec);
+  nn::Tensor x({reports.size(), c, 1, w});
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    dataset::fill_features(reports[i], spec, x.data() + i * c * w);
+  const nn::Tensor legacy = legacy_model.forward(x, /*training=*/false);
+
+  nn::InferenceContext ctx(auth.shared_model(),
+                           {c, 1, w}, reports.size());
+  std::copy(x.data(), x.data() + x.numel(), ctx.input());
+  const tensor::ConstTensorView logits = ctx.run(reports.size());
+  if (logits.numel() != legacy.numel()) return false;
+  for (std::size_t i = 0; i < legacy.numel(); ++i)
+    if (logits.data()[i] != legacy[i]) return false;
+  return true;
+}
+
+serving::ServiceConfig service_config(std::size_t consumers,
+                                      std::size_t max_batch) {
+  serving::ServiceConfig cfg;
+  cfg.queue_capacity = 1024;
+  cfg.policy = common::OverflowPolicy::kBlock;
+  cfg.scheduler.max_batch = max_batch;
+  cfg.scheduler.max_latency = std::chrono::milliseconds(2);
+  cfg.sessions.window = 31;
+  cfg.consumers = consumers;
+  return cfg;
+}
+
+// Multi-station stream for the consumer-scaling rows (8 stations so four
+// lanes all get work).
+std::vector<capture::ObservedFeedback> make_stream(int stations,
+                                                   int reports_per_station) {
+  dataset::Scale scale;
+  scale.d1_snapshots_per_trace = reports_per_station;
+  std::vector<capture::ObservedFeedback> stream;
+  std::vector<std::vector<feedback::CompressedFeedbackReport>> per_station;
+  for (int s = 0; s < stations; ++s) {
+    const dataset::Trace trace = dataset::generate_d1_trace(
+        s % phy::kNumModules, 1, 0, scale, {});
+    std::vector<feedback::CompressedFeedbackReport> reports;
+    for (const dataset::Snapshot& snap : trace.snapshots)
+      reports.push_back(snap.report);
+    per_station.push_back(std::move(reports));
+  }
+  for (int i = 0; i < reports_per_station; ++i)
+    for (int s = 0; s < stations; ++s) {
+      capture::ObservedFeedback obs;
+      obs.timestamp_s = 0.001 * static_cast<double>(stream.size());
+      obs.beamformee = capture::MacAddress::for_station(s);
+      obs.beamformer = capture::MacAddress::for_module(0);
+      obs.report = per_station[static_cast<std::size_t>(s)][
+          static_cast<std::size_t>(i)];
+      stream.push_back(std::move(obs));
+    }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("infer",
+                      "SharedModel/InferenceContext const forward vs legacy "
+                      "stateful forward, and consumer-lane scaling");
+  bench::BenchReport report("infer");
+
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = dataset::scale_from_env().subcarrier_stride;
+  const core::ModelConfig model_cfg = dataset::full_scale_selected()
+                                          ? core::paper_model_config()
+                                          : core::quick_model_config();
+  const auto build = [&] {
+    return core::build_deepcsi_model(
+        dataset::num_input_channels(spec),
+        static_cast<int>(dataset::num_input_columns(spec)), phy::kNumModules,
+        model_cfg);
+  };
+  const core::Authenticator auth(build(), spec);
+  nn::Sequential legacy_model = build();
+
+  const std::size_t batch = batch_from_env();
+  const auto reports = make_reports(batch);
+  const int reps = dataset::full_scale_selected() ? 8 : 24;
+
+  // ---- forward-path comparison ------------------------------------------
+  const bool identical =
+      forward_paths_bitwise_identical(auth, legacy_model, spec, reports);
+  std::printf("const context forward bitwise-identical to legacy forward: "
+              "%s\n",
+              identical ? "yes" : "NO");
+  report.add_metric("context_matches_legacy", identical ? 1.0 : 0.0, "bool");
+
+  std::vector<core::Authenticator::Prediction> out(reports.size());
+  const double ctx_rps = measure_reports_per_second(
+      reports.size(), reps,
+      [&] { auth.classify_batch_into(reports, out); });
+  const double legacy_rps = measure_reports_per_second(
+      reports.size(), reps,
+      [&] { legacy_classify_batch(legacy_model, spec, reports); });
+  std::printf("forward path (batch %zu, %d threads):\n", batch,
+              common::num_threads());
+  std::printf("  %-28s %12.1f reports/s\n", "legacy stateful forward",
+              legacy_rps);
+  std::printf("  %-28s %12.1f reports/s (%.2fx)\n",
+              "context-pool const forward", ctx_rps,
+              legacy_rps > 0.0 ? ctx_rps / legacy_rps : 0.0);
+  report.add_metric("infer_throughput", legacy_rps, "reports/s",
+                    {{"path", 0.0}, {"max_batch", static_cast<double>(batch)}});
+  report.add_metric("infer_throughput", ctx_rps, "reports/s",
+                    {{"path", 1.0}, {"max_batch", static_cast<double>(batch)}});
+
+  // ---- consumer-lane scaling --------------------------------------------
+  // Per-lane-serial forward (1 pool thread): lanes, not the pool, provide
+  // the parallelism, so the lane count maps directly onto cores and the
+  // scaling story is not confounded by intra-batch fan-out.
+  const int original_threads = common::num_threads();
+  common::set_num_threads(1);
+  const auto stream = make_stream(8, 8);
+  const int loops = dataset::full_scale_selected() ? 4 : 16;
+  std::printf("\nstreaming service, 2 producers, per-lane-serial forward, "
+              "consumer lanes 1/2/4 (%zu reports/loop x %d loops):\n",
+              stream.size(), loops);
+  for (const std::size_t consumers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+    serving::AuthService service(auth, service_config(consumers, batch));
+    serving::ReplayConfig replay;
+    replay.loops = loops;
+    replay.producers = 2;
+    serving::replay_observed(service, stream, replay);
+    const serving::ServiceStats stats = service.stats();
+    std::printf("  %zu consumer(s): %10.1f reports/s  (p50 %.2fms, p99 "
+                "%.2fms, %zu batches)\n",
+                consumers, stats.throughput_rps, stats.batch_latency_p50_ms,
+                stats.batch_latency_p99_ms, stats.scheduler.batches);
+    report.add_metric("serving_consumer_throughput", stats.throughput_rps,
+                      "reports/s",
+                      {{"consumers", static_cast<double>(consumers)},
+                       {"max_batch", static_cast<double>(batch)}});
+  }
+  common::set_num_threads(original_threads);
+  std::printf("\n");
+
+  report.write_json();
+  return identical ? 0 : 1;
+}

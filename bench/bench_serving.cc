@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -129,6 +130,53 @@ void run_throughput_grid(const core::Authenticator& auth,
   std::fflush(stdout);
 }
 
+// Consumer-lane scaling: the same stream through 1/2/4 sharded consumer
+// lanes, each lane running per-lane-serial const forwards through its own
+// InferenceContext (1 pool thread, so lanes — not intra-batch fan-out —
+// provide the parallelism; on a multi-core runner 4 consumers should beat
+// the single-consumer row).
+void run_consumer_scaling(const core::Authenticator& auth,
+                          const std::vector<capture::ObservedFeedback>& stream,
+                          int loops, bench::BenchReport& report) {
+  const std::size_t max_batch = max_batch_from_env();
+  const int original_threads = common::num_threads();
+  common::set_num_threads(1);
+  std::printf("consumer-lane scaling (2 producers, per-lane-serial "
+              "forward)\n");
+  std::printf("%10s %14s %10s %10s %9s\n", "consumers", "classified/s",
+              "p50 ms", "p99 ms", "batches");
+  double single_rps = 0.0, last_rps = 0.0;
+  for (const std::size_t consumers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+    serving::ServiceConfig cfg =
+        service_config(common::OverflowPolicy::kBlock, max_batch);
+    cfg.consumers = consumers;
+    serving::AuthService service(auth, cfg);
+    serving::ReplayConfig replay;
+    replay.loops = loops;
+    replay.producers = 2;
+    serving::replay_observed(service, stream, replay);
+    const serving::ServiceStats stats = service.stats();
+    if (consumers == 1) single_rps = stats.throughput_rps;
+    last_rps = stats.throughput_rps;
+    std::printf("%10zu %14.1f %10.2f %10.2f %9zu\n", consumers,
+                stats.throughput_rps, stats.batch_latency_p50_ms,
+                stats.batch_latency_p99_ms, stats.scheduler.batches);
+    report.add_metric("serving_throughput_consumers", stats.throughput_rps,
+                      "reports/s",
+                      {{"consumers", static_cast<double>(consumers)},
+                       {"max_batch", static_cast<double>(max_batch)}});
+  }
+  if (single_rps > 0.0)
+    std::printf("(4-consumer vs single-consumer: %.2fx on %d hardware "
+                "threads)\n",
+                last_rps / single_rps,
+                static_cast<int>(std::thread::hardware_concurrency()));
+  common::set_num_threads(original_threads);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
 // The determinism contract, end to end: one producer, fixed stream =>
 // bit-identical per-station verdicts whatever DEEPCSI_THREADS is.
 bool run_determinism_check(const core::Authenticator& auth,
@@ -189,6 +237,7 @@ int main() {
   // enough that scheduler batching dominates startup).
   const auto stream = make_stream(4, 8);
   run_throughput_grid(auth, stream, 16, report);
+  run_consumer_scaling(auth, make_stream(8, 8), 16, report);
   const bool identical = run_determinism_check(auth, stream, report);
 
   report.write_json();

@@ -1,0 +1,20 @@
+// Shared integer mixing for shard routing. One definition so the session
+// table and the serving lanes agree on what "well spread" means — and so
+// a station's shard assignment is a stable, documented function of its
+// MAC, never an accident of two diverging local hashes.
+#pragma once
+
+#include <cstdint>
+
+namespace deepcsi::common {
+
+// splitmix64 finalizer: spreads low-entropy keys (e.g. the 48 meaningful
+// MAC bits, same OUI, last octet counting up) across the whole word.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace deepcsi::common

@@ -58,29 +58,42 @@ class ThreadPool {
     target_threads_ = n;
   }
 
-  void run(std::size_t num_chunks,
-           const std::function<void(std::size_t)>& chunk_fn) {
+  // One top-level parallel job: chunk i covers indices
+  // [begin + i*grain, min(begin + (i+1)*grain, end)). The body is a
+  // borrowed (ctx, thunk) pair — never copied, never heap-allocated.
+  void run(std::size_t begin, std::size_t end, std::size_t grain, void* ctx,
+           detail::ChunkBody body) {
+    const std::size_t num_chunks = (end - begin + grain - 1) / grain;
     if (num_chunks == 0) return;
     if (t_in_parallel_region) {  // nested: serial, same chunk order
-      for (std::size_t i = 0; i < num_chunks; ++i) chunk_fn(i);
+      for (std::size_t lo = begin; lo < end; lo += grain)
+        body(ctx, lo, lo + grain < end ? lo + grain : end);
       return;
     }
 
     Job job;
-    job.fn = &chunk_fn;
+    job.ctx = ctx;
+    job.body = body;
+    job.begin = begin;
+    job.end = end;
+    job.grain = grain;
     job.num_chunks = num_chunks;
     {
       std::unique_lock<std::mutex> lk(mutex_);
-      // Serialize top-level jobs: wait for any in-flight job to clear.
-      // start_workers may drop the lock while resizing, so re-check.
-      do {
-        done_cv_.wait(lk, [&] { return job_ == nullptr; });
-        start_workers(lk);
-      } while (job_ != nullptr);
-      if (workers_.empty() || num_chunks == 1) {
+      // One pooled job at a time — but a caller that finds the pool busy
+      // does NOT wait behind it: it runs its own chunks serially instead.
+      // Concurrent top-level callers (the serving lanes) therefore never
+      // serialize on each other; they share cores through the OS. The
+      // chunk boundaries and per-chunk order are identical either way, so
+      // results stay bit-identical by the determinism contract.
+      // (start_workers may drop the lock while resizing, so job_ is
+      // re-checked after it returns.)
+      if (job_ == nullptr) start_workers(lk);
+      if (job_ != nullptr || workers_.empty() || num_chunks == 1) {
         lk.unlock();
         RegionGuard guard;
-        for (std::size_t i = 0; i < num_chunks; ++i) chunk_fn(i);
+        for (std::size_t lo = begin; lo < end; lo += grain)
+          body(ctx, lo, lo + grain < end ? lo + grain : end);
         return;
       }
       job_ = &job;
@@ -98,14 +111,15 @@ class ThreadPool {
         return job.done == job.num_chunks && job.active_workers == 0;
       });
       job_ = nullptr;
-      done_cv_.notify_all();  // wake queued top-level runs
     }
     if (job.error) std::rethrow_exception(job.error);
   }
 
  private:
   struct Job {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    void* ctx = nullptr;
+    detail::ChunkBody body = nullptr;
+    std::size_t begin = 0, end = 0, grain = 1;
     std::size_t num_chunks = 0;
     std::atomic<std::size_t> next{0};
     // Guarded by mutex_:
@@ -125,7 +139,10 @@ class ThreadPool {
       if (i >= job.num_chunks) return;
       std::exception_ptr err;
       try {
-        (*job.fn)(i);
+        const std::size_t lo = job.begin + i * job.grain;
+        const std::size_t hi =
+            lo + job.grain < job.end ? lo + job.grain : job.end;
+        job.body(job.ctx, lo, hi);
       } catch (...) {
         err = std::current_exception();
       }
@@ -197,18 +214,16 @@ int num_threads() { return ThreadPool::instance().num_threads(); }
 
 void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }
 
-void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
+namespace detail {
+
+void parallel_for_impl(std::size_t begin, std::size_t end, std::size_t grain,
+                       void* ctx, ChunkBody body) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
-  const std::size_t total = end - begin;
-  const std::size_t num_chunks = (total + grain - 1) / grain;
-  ThreadPool::instance().run(num_chunks, [&](std::size_t c) {
-    const std::size_t lo = begin + c * grain;
-    const std::size_t hi = lo + grain < end ? lo + grain : end;
-    fn(lo, hi);
-  });
+  ThreadPool::instance().run(begin, end, grain, ctx, body);
 }
+
+}  // namespace detail
 
 std::size_t grain_for(std::size_t work_per_index, std::size_t target_work) {
   if (work_per_index == 0) work_per_index = 1;

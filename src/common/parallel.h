@@ -9,13 +9,20 @@
 // additionally keep a fixed per-element accumulation order, so the same
 // holds through floating-point rounding).
 //
+// Allocation contract: dispatch itself never touches the heap. The body
+// is passed as a non-owning function reference (pointer + thunk), not a
+// std::function, so a warm pool runs parallel_for with zero allocations —
+// which is what lets the arena-planned inference path prove a literally
+// allocation-free steady state end to end.
+//
 // Sizing: DEEPCSI_THREADS env var; unset/invalid falls back to
 // std::thread::hardware_concurrency(). set_num_threads() resizes at
 // runtime (used by tests and benches to compare thread counts).
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace deepcsi::common {
 
@@ -26,13 +33,33 @@ int num_threads();
 // the new count. Must not be called from inside a parallel region.
 void set_num_threads(int n);
 
+namespace detail {
+
+// Non-owning chunk body: (context, chunk_begin, chunk_end).
+using ChunkBody = void (*)(void*, std::size_t, std::size_t);
+
+void parallel_for_impl(std::size_t begin, std::size_t end, std::size_t grain,
+                       void* ctx, ChunkBody body);
+
+}  // namespace detail
+
 // Invoke fn(chunk_begin, chunk_end) over [begin, end) in chunks of at
 // most `grain` indices. Chunks may run concurrently on the pool; the
 // caller's thread participates. Exceptions thrown by fn are rethrown on
 // the calling thread (first one wins). Nested calls from inside a chunk
-// execute serially on the calling thread with identical chunking.
+// execute serially on the calling thread with identical chunking. The
+// callable is borrowed for the duration of the call, never copied.
+template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+                  Fn&& fn) {
+  using F = std::remove_reference_t<Fn>;
+  detail::parallel_for_impl(
+      begin, end, grain,
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+      [](void* ctx, std::size_t lo, std::size_t hi) {
+        (*static_cast<F*>(ctx))(lo, hi);
+      });
+}
 
 // Chunk size so each chunk carries roughly `target_work` units when one
 // index costs `work_per_index` units. Keeps per-chunk dispatch overhead

@@ -1,13 +1,14 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "dataset/scale.h"
-#include "nn/loss.h"
 #include "nn/serialize.h"
+#include "tensor/view.h"
 
 namespace deepcsi::core {
 
@@ -55,54 +56,89 @@ ExperimentResult run_classification(const dataset::SplitSets& split,
   return result;
 }
 
+namespace {
+
+tensor::StaticShape sample_shape_for(const dataset::InputSpec& spec) {
+  return {static_cast<std::size_t>(dataset::num_input_channels(spec)), 1,
+          dataset::num_input_columns(spec)};
+}
+
+// Prediction from one logits row, replaying the exact float-op order of
+// nn::softmax followed by a first-max argmax over the probabilities —
+// including the tie-break: float rounding can map distinct logits to the
+// same probability, and the first of those must win exactly as it did on
+// the legacy softmax-then-argmax path. The probabilities are never
+// materialized; exp is deterministic, so recomputing it in the argmax
+// pass yields the same bits the legacy tensor held.
+Authenticator::Prediction predict_row(const float* __restrict row,
+                                      std::size_t k) {
+  const float mx = *std::max_element(row, row + k);
+  float denom = 0.0f;
+  for (std::size_t c = 0; c < k; ++c) denom += std::exp(row[c] - mx);
+  std::size_t best = 0;
+  float best_p = std::exp(row[0] - mx) / denom;
+  for (std::size_t c = 1; c < k; ++c) {
+    const float p = std::exp(row[c] - mx) / denom;
+    if (p > best_p) {
+      best_p = p;
+      best = c;
+    }
+  }
+  return Authenticator::Prediction{static_cast<int>(best),
+                                   static_cast<double>(best_p)};
+}
+
+}  // namespace
+
 Authenticator::Authenticator(nn::Sequential model, dataset::InputSpec spec)
-    : model_(std::move(model)), spec_(spec) {}
+    : model_(std::move(model)),
+      spec_(spec),
+      pool_(std::make_unique<nn::ContextPool>(model_, sample_shape_for(spec_),
+                                              kContextBatch)) {}
 
 Authenticator::Prediction Authenticator::classify(
     const feedback::CompressedFeedbackReport& report) const {
-  const std::size_t c =
-      static_cast<std::size_t>(dataset::num_input_channels(spec_));
-  const std::size_t w = dataset::num_input_columns(spec_);
-  nn::Tensor x({1, c, 1, w});
-  dataset::fill_features(report, spec_, x.data());
-  const nn::Tensor probs = nn::softmax(model_.forward(x, /*training=*/false));
-  const float* row = probs.data();
-  const std::size_t k = probs.dim(1);
-  const std::size_t best =
-      static_cast<std::size_t>(std::max_element(row, row + k) - row);
-  return Prediction{static_cast<int>(best), static_cast<double>(row[best])};
+  Prediction p;
+  classify_batch_into(std::span(&report, 1), std::span(&p, 1));
+  return p;
 }
 
 std::vector<Authenticator::Prediction> Authenticator::classify_batch(
     std::span<const feedback::CompressedFeedbackReport> reports) const {
   std::vector<Prediction> out(reports.size());
-  if (reports.empty()) return out;
-  const std::size_t c =
-      static_cast<std::size_t>(dataset::num_input_channels(spec_));
-  const std::size_t w = dataset::num_input_columns(spec_);
-
-  nn::Tensor x({reports.size(), c, 1, w});
-  common::parallel_for(
-      0, reports.size(), common::grain_for(c * w * 64),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i)
-          dataset::fill_features(reports[i], spec_, x.data() + i * c * w);
-      });
-
-  const nn::Tensor probs = nn::softmax(model_.forward(x, /*training=*/false));
-  const std::size_t k = probs.dim(1);
-  common::parallel_for(
-      0, reports.size(), common::grain_for(k),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          const float* row = probs.data() + i * k;
-          const std::size_t best =
-              static_cast<std::size_t>(std::max_element(row, row + k) - row);
-          out[i] = Prediction{static_cast<int>(best),
-                              static_cast<double>(row[best])};
-        }
-      });
+  classify_batch_into(reports, out);
   return out;
+}
+
+void Authenticator::classify_batch_into(
+    std::span<const feedback::CompressedFeedbackReport> reports,
+    std::span<Prediction> out) const {
+  DEEPCSI_CHECK(out.size() >= reports.size());
+  if (reports.empty()) return;
+
+  const nn::ContextPool::Lease lease = pool_->acquire();
+  nn::InferenceContext& ctx = *lease;
+  const std::size_t sample = ctx.sample_numel();
+
+  for (std::size_t at = 0; at < reports.size(); at += ctx.max_batch()) {
+    const std::size_t n = std::min(ctx.max_batch(), reports.size() - at);
+    float* in = ctx.input();
+    common::parallel_for(
+        0, n, common::grain_for(sample * 64),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i)
+            dataset::fill_features(reports[at + i], spec_, in + i * sample);
+        });
+
+    const tensor::ConstTensorView logits = ctx.run(n);
+    const std::size_t k = logits.dim(1);
+    common::parallel_for(0, n, common::grain_for(k),
+                         [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t i = lo; i < hi; ++i)
+                             out[at + i] =
+                                 predict_row(logits.data() + i * k, k);
+                         });
+  }
 }
 
 bool Authenticator::authenticate(
@@ -112,12 +148,12 @@ bool Authenticator::authenticate(
   return p.module_id == claimed_module && p.confidence >= min_confidence;
 }
 
-void Authenticator::save(const std::string& path) {
-  nn::save_weights(model_, path);
+void Authenticator::save(const std::string& path) const {
+  nn::save_weights(model_.graph(), path);
 }
 
 void Authenticator::load(const std::string& path) {
-  nn::load_weights(model_, path);
+  nn::load_weights(model_.mutable_graph(), path);
 }
 
 void save_model_meta(const std::string& weights_path,

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "core/model.h"
 #include "dataset/splits.h"
+#include "nn/infer.h"
 #include "nn/metrics.h"
 #include "nn/trainer.h"
 
@@ -39,8 +41,21 @@ ExperimentResult run_classification(const dataset::SplitSets& split,
                                     const ExperimentConfig& cfg);
 
 // A trained classifier bound to its input spec: the deployable artifact.
+//
+// The network lives in an immutable SharedModel; every classify call
+// leases a per-thread InferenceContext (pre-planned activation arena)
+// from an internal pool, so ANY number of threads may call classify /
+// classify_batch / authenticate concurrently on one shared Authenticator.
+// Predictions are bitwise identical whatever the caller count, batch
+// composition or DEEPCSI_THREADS. The only non-const entry points are
+// model() and load(), which mutate weights for the train/eval path and
+// must not race a concurrent classify.
 class Authenticator {
  public:
+  // Contexts are planned for batches up to this size; larger classify
+  // batches are chunked (chunking never changes per-report predictions).
+  static constexpr std::size_t kContextBatch = 64;
+
   Authenticator(nn::Sequential model, dataset::InputSpec spec);
 
   struct Prediction {
@@ -48,17 +63,22 @@ class Authenticator {
     double confidence = 0.0;  // softmax probability of the argmax
   };
 
-  // Classify one observed feedback report.
+  // Classify one observed feedback report. Thread-safe.
   Prediction classify(const feedback::CompressedFeedbackReport& report) const;
 
-  // Batched serving path: packs all reports into one input tensor (feature
-  // assembly fans out over the thread pool) and runs a single pooled
-  // forward pass. Predictions are bit-identical to per-report classify().
-  // Like classify(), not safe for concurrent calls on one Authenticator —
-  // the layers cache forward state; parallelism comes from the pool, not
-  // from racing callers.
+  // Batched serving path: packs reports into the leased context's arena
+  // (feature assembly fans out over the thread pool) and runs pooled
+  // const forward passes. Thread-safe; bit-identical to per-report
+  // classify().
   std::vector<Prediction> classify_batch(
       std::span<const feedback::CompressedFeedbackReport> reports) const;
+
+  // As classify_batch, but into caller-owned storage (out.size() >=
+  // reports.size()): with warm contexts and thread-local feature scratch
+  // this path performs zero heap allocations.
+  void classify_batch_into(
+      std::span<const feedback::CompressedFeedbackReport> reports,
+      std::span<Prediction> out) const;
 
   // PHY-layer authentication: does the report's fingerprint match the
   // claimed module id with at least `min_confidence`?
@@ -66,16 +86,22 @@ class Authenticator {
                     int claimed_module, double min_confidence = 0.5) const;
 
   const dataset::InputSpec& input_spec() const { return spec_; }
-  nn::Sequential& model() { return model_; }
+  const nn::SharedModel& shared_model() const { return model_; }
+  // Stateful train/eval escape hatch (nn::evaluate, weight mutation).
+  // NOT thread-safe, and must not race concurrent classify calls.
+  nn::Sequential& model() { return model_.mutable_graph(); }
 
-  void save(const std::string& path);
+  void save(const std::string& path) const;
   // The caller must construct the Authenticator with the same architecture
   // before loading (shape mismatches throw).
   void load(const std::string& path);
 
  private:
-  mutable nn::Sequential model_;  // forward() caches activations internally
+  nn::SharedModel model_;
   dataset::InputSpec spec_;
+  // Lazily grown freelist of arena contexts; wrapped in unique_ptr so the
+  // Authenticator stays movable (the pool holds a mutex).
+  std::unique_ptr<nn::ContextPool> pool_;
 };
 
 // Convenience: build the model for a given spec and train it on a split.

@@ -1,20 +1,37 @@
 #include "nn/activations.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace deepcsi::nn {
+namespace {
+
+// Elementwise SELU, shared by both forward paths (identical op order =>
+// bitwise-identical outputs).
+void selu_apply(const float* __restrict x, float* __restrict y,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    y[i] = v > 0.0f ? kSeluLambda * v
+                    : kSeluLambda * kSeluAlpha * (std::exp(v) - 1.0f);
+  }
+}
+
+}  // namespace
 
 Tensor Selu::forward(const Tensor& x, bool /*training*/) {
   cached_x_ = x;
   Tensor out = x;
-  float* __restrict d = out.data();
-  const std::size_t n = out.numel();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float v = d[i];
-    d[i] = v > 0.0f ? kSeluLambda * v
-                    : kSeluLambda * kSeluAlpha * (std::exp(v) - 1.0f);
-  }
+  selu_apply(x.data(), out.data(), out.numel());
   return out;
+}
+
+void Selu::plan_inference(InferencePlan& plan) const {
+  plan.out_shape = plan.in_shape;
+}
+
+void Selu::forward_into(const InferArgs& args) const {
+  selu_apply(args.x.data(), args.y.data(), args.x.numel());
 }
 
 Tensor Selu::backward(const Tensor& grad_out) {
@@ -40,6 +57,16 @@ Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
 Tensor Flatten::backward(const Tensor& grad_out) {
   DEEPCSI_CHECK(!cached_shape_.empty());
   return grad_out.reshaped(cached_shape_);
+}
+
+void Flatten::plan_inference(InferencePlan& plan) const {
+  DEEPCSI_CHECK(plan.in_shape.rank >= 2);
+  plan.out_shape = {plan.in_shape.dim(0), plan.in_shape.sample_numel()};
+}
+
+void Flatten::forward_into(const InferArgs& args) const {
+  // Pure reshape: same contiguous elements, new geometry.
+  std::copy(args.x.data(), args.x.data() + args.x.numel(), args.y.data());
 }
 
 }  // namespace deepcsi::nn

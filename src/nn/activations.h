@@ -13,6 +13,8 @@ class Selu final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void plan_inference(InferencePlan& plan) const override;
+  void forward_into(const InferArgs& args) const override;
   std::string name() const override { return "selu"; }
 
  private:
@@ -24,6 +26,8 @@ class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void plan_inference(InferencePlan& plan) const override;
+  void forward_into(const InferArgs& args) const override;
   std::string name() const override { return "flatten"; }
 
  private:

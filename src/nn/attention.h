@@ -21,10 +21,19 @@ class SpatialAttention final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void plan_inference(InferencePlan& plan) const override;
+  void forward_into(const InferArgs& args) const override;
   std::vector<Param*> params() override { return conv_.params(); }
+  std::vector<const Param*> params() const override { return conv_.params(); }
   std::string name() const override { return "spatial_attention"; }
 
  private:
+  // Channel-wise max/mean maps shared by both forward paths; records the
+  // max channel only when the training path needs it for backward.
+  void compute_maps(const float* x, std::size_t n_batch, std::size_t ch,
+                    std::size_t hh, std::size_t ww, float* maps,
+                    std::size_t* argmax) const;
+
   Conv2d conv_;  // 2 -> 1 channels
   Tensor cached_x_;
   Tensor cached_w_;                  // sigmoid output, [N,1,H,W]

@@ -46,11 +46,10 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
 // im2col: column row (ci, i, j) holds x[ci] shifted by the tap offset,
 // zero outside the image. Rows are independent, so the (sample, tap)
 // space parallelizes directly.
-void Conv2d::im2col(const Tensor& x, std::vector<float>& cols) const {
-  const std::size_t n_batch = x.dim(0), hh = x.dim(2), ww = x.dim(3);
+void Conv2d::im2col_into(const float* x, std::size_t n_batch, std::size_t hh,
+                         std::size_t ww, float* cols) const {
   const std::size_t hw = hh * ww;
   const std::size_t ckk = in_channels_ * kh_ * kw_;
-  cols.resize(n_batch * ckk * hw);
   common::parallel_for(
       0, n_batch * ckk, common::grain_for(hw),
       [&](std::size_t lo, std::size_t hi) {
@@ -63,9 +62,8 @@ void Conv2d::im2col(const Tensor& x, std::vector<float>& cols) const {
           const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
                                     static_cast<std::ptrdiff_t>(pad_w_);
           const TapSpan hs = tap_span(dh, hh), ws = tap_span(dw, ww);
-          const float* __restrict x_plane =
-              x.data() + (n * in_channels_ + ci) * hw;
-          float* __restrict col_row = cols.data() + r * hw;
+          const float* __restrict x_plane = x + (n * in_channels_ + ci) * hw;
+          float* __restrict col_row = cols + r * hw;
           std::fill(col_row, col_row + hw, 0.0f);
           for (std::size_t h = hs.lo; h < hs.hi; ++h) {
             const std::size_t h_in =
@@ -79,6 +77,32 @@ void Conv2d::im2col(const Tensor& x, std::vector<float>& cols) const {
           }
         }
       });
+}
+
+void Conv2d::im2col(const Tensor& x, std::vector<float>& cols) const {
+  const std::size_t n_batch = x.dim(0), hh = x.dim(2), ww = x.dim(3);
+  cols.resize(n_batch * in_channels_ * kh_ * kw_ * hh * ww);
+  im2col_into(x.data(), n_batch, hh, ww, cols.data());
+}
+
+// out[n] = bias + W * cols[n].
+void Conv2d::compute_forward(const float* cols, std::size_t n_batch,
+                             std::size_t hh, std::size_t ww,
+                             float* out) const {
+  const std::size_t hw = hh * ww;
+  const std::size_t ckk = in_channels_ * kh_ * kw_;
+  const float* __restrict bs = bias_.value.data();
+  common::parallel_for(
+      0, n_batch * out_channels_, common::grain_for(hw),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          float* __restrict o_row = out + r * hw;
+          std::fill(o_row, o_row + hw, bs[r % out_channels_]);
+        }
+      });
+  gemm_nn_batched(n_batch, out_channels_, hw, ckk, weight_.value.data(), cols,
+                  ckk * hw, out, out_channels_ * hw,
+                  /*accumulate=*/true);
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool training) {
@@ -102,21 +126,27 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   }
   im2col(x, cached_cols_);
 
-  // out[n] = bias + W * cols[n].
   Tensor out({n_batch, out_channels_, hh, ww});
-  const float* __restrict bs = bias_.value.data();
-  common::parallel_for(
-      0, n_batch * out_channels_, common::grain_for(hw),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t r = lo; r < hi; ++r) {
-          float* __restrict o_row = out.data() + r * hw;
-          std::fill(o_row, o_row + hw, bs[r % out_channels_]);
-        }
-      });
-  gemm_nn_batched(n_batch, out_channels_, hw, ckk, weight_.value.data(),
-                  cached_cols_.data(), ckk * hw, out.data(), out_channels_ * hw,
-                  /*accumulate=*/true);
+  compute_forward(cached_cols_.data(), n_batch, hh, ww, out.data());
   return out;
+}
+
+void Conv2d::plan_inference(InferencePlan& plan) const {
+  DEEPCSI_CHECK(plan.in_shape.rank == 4 &&
+                plan.in_shape.dim(1) == in_channels_);
+  const std::size_t n = plan.in_shape.dim(0);
+  const std::size_t hh = plan.in_shape.dim(2), ww = plan.in_shape.dim(3);
+  plan.out_shape = {n, out_channels_, hh, ww};
+  // One scratch slice: the im2col columns [N][Cin*kh*kw][H*W].
+  plan.scratch_numel = {n * in_channels_ * kh_ * kw_ * hh * ww};
+}
+
+void Conv2d::forward_into(const InferArgs& args) const {
+  const std::size_t n = args.x.dim(0), hh = args.x.dim(2),
+                    ww = args.x.dim(3);
+  float* cols = args.plan.scratch[0];
+  im2col_into(args.x.data(), n, hh, ww, cols);
+  compute_forward(cols, n, hh, ww, args.y.data());
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {

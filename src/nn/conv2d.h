@@ -25,7 +25,12 @@ class Conv2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void plan_inference(InferencePlan& plan) const override;
+  void forward_into(const InferArgs& args) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::vector<const Param*> params() const override {
+    return {&weight_, &bias_};
+  }
   std::string name() const override { return "conv2d"; }
 
   std::size_t in_channels() const { return in_channels_; }
@@ -38,6 +43,12 @@ class Conv2d final : public Layer {
   Param bias_;    // [out]
   // Unrolls x into [N][Cin*kh*kw][H*W] column rows (parallel per row).
   void im2col(const Tensor& x, std::vector<float>& cols) const;
+  // The raw kernels shared by both forward paths (train caches feed off
+  // the same routines, so serve output is bitwise identical).
+  void im2col_into(const float* x, std::size_t n_batch, std::size_t hh,
+                   std::size_t ww, float* cols) const;
+  void compute_forward(const float* cols, std::size_t n_batch, std::size_t hh,
+                       std::size_t ww, float* out) const;
 
   Tensor cached_x_;
   // im2col of cached_x_, shared by both modes: backward's weight-gradient

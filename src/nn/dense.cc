@@ -16,24 +16,40 @@ Dense::Dense(std::size_t in_features, std::size_t out_features,
   bias_.value.zero();
 }
 
-Tensor Dense::forward(const Tensor& x, bool /*training*/) {
-  DEEPCSI_CHECK(x.rank() == 2 && x.dim(1) == in_features_);
-  const std::size_t n_batch = x.dim(0);
-  cached_x_ = x;
-  Tensor out({n_batch, out_features_});
-  // out = x * W^T, one dot product per output element.
-  gemm_nt(n_batch, out_features_, in_features_, x.data(), weight_.value.data(),
-          out.data(), /*accumulate=*/false);
+// Shared by both forward paths so they stay bitwise identical: one
+// x * W^T GEMM, then the bias broadcast.
+void Dense::compute_forward(const float* x, std::size_t n_batch,
+                            float* out) const {
+  gemm_nt(n_batch, out_features_, in_features_, x, weight_.value.data(), out,
+          /*accumulate=*/false);
   const float* __restrict bs = bias_.value.data();
   common::parallel_for(
       0, n_batch, common::grain_for(out_features_),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t n = lo; n < hi; ++n) {
-          float* __restrict o_row = out.data() + n * out_features_;
+          float* __restrict o_row = out + n * out_features_;
           for (std::size_t o = 0; o < out_features_; ++o) o_row[o] += bs[o];
         }
       });
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*training*/) {
+  DEEPCSI_CHECK(x.rank() == 2 && x.dim(1) == in_features_);
+  const std::size_t n_batch = x.dim(0);
+  cached_x_ = x;
+  Tensor out({n_batch, out_features_});
+  compute_forward(x.data(), n_batch, out.data());
   return out;
+}
+
+void Dense::plan_inference(InferencePlan& plan) const {
+  DEEPCSI_CHECK(plan.in_shape.rank == 2 &&
+                plan.in_shape.dim(1) == in_features_);
+  plan.out_shape = {plan.in_shape.dim(0), out_features_};
+}
+
+void Dense::forward_into(const InferArgs& args) const {
+  compute_forward(args.x.data(), args.x.dim(0), args.y.data());
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {

@@ -14,10 +14,17 @@ class Dense final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void plan_inference(InferencePlan& plan) const override;
+  void forward_into(const InferArgs& args) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::vector<const Param*> params() const override {
+    return {&weight_, &bias_};
+  }
   std::string name() const override { return "dense"; }
 
  private:
+  void compute_forward(const float* x, std::size_t n_batch, float* out) const;
+
   std::size_t in_features_, out_features_;
   Param weight_;  // [out, in]
   Param bias_;    // [out]

@@ -1,5 +1,6 @@
 #include "nn/dropout.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace deepcsi::nn {
@@ -31,6 +32,16 @@ Tensor AlphaDropout::forward(const Tensor& x, bool training) {
     d[i] = a_ * d[i] + b_;
   }
   return out;
+}
+
+void AlphaDropout::plan_inference(InferencePlan& plan) const {
+  plan.out_shape = plan.in_shape;
+}
+
+void AlphaDropout::forward_into(const InferArgs& args) const {
+  // Inference-mode dropout is the identity, exactly like
+  // forward(x, /*training=*/false).
+  std::copy(args.x.data(), args.x.data() + args.x.numel(), args.y.data());
 }
 
 Tensor AlphaDropout::backward(const Tensor& grad_out) {

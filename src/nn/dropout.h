@@ -20,6 +20,8 @@ class AlphaDropout final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void plan_inference(InferencePlan& plan) const override;
+  void forward_into(const InferArgs& args) const override;
   std::string name() const override { return "alpha_dropout"; }
 
   float drop_rate() const { return drop_rate_; }

@@ -1,0 +1,143 @@
+// The weights / execution-state split that makes serving concurrent:
+//
+//   SharedModel       — an immutable, shareable trained network. Holds the
+//                       layer graph behind a shared_ptr (stable address
+//                       across moves and copies); every forward run through
+//                       it is const.
+//   InferenceContext  — all mutable execution state for one serving lane.
+//                       Built once per (model, max batch): the constructor
+//                       walks the layer graph, asks every layer for its
+//                       output shape and scratch needs via plan_inference,
+//                       and carves input + ping-pong activations + every
+//                       scratch slice (im2col columns, attention maps, ...)
+//                       out of ONE contiguous arena. After a warm-up run,
+//                       run(n) performs zero heap allocations.
+//   ContextPool       — a freelist of contexts behind a mutex with an RAII
+//                       Lease, so any number of threads can run forward
+//                       passes on one SharedModel concurrently; contexts
+//                       are built on demand and reused forever after.
+//
+// Determinism: forward_into reuses the exact kernels of the stateful
+// train-path forward (same parallel_for chunking, same accumulation
+// order), so context output is bitwise identical to
+// Sequential::forward(x, /*training=*/false) for any DEEPCSI_THREADS and
+// any batch chunking.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/model.h"
+#include "tensor/view.h"
+
+namespace deepcsi::nn {
+
+class SharedModel {
+ public:
+  // Takes ownership of a trained graph and freezes it behind const access.
+  explicit SharedModel(Sequential model)
+      : model_(std::make_shared<Sequential>(std::move(model))) {}
+
+  // Copies share the same underlying graph (and weights).
+  SharedModel(const SharedModel&) = default;
+  SharedModel& operator=(const SharedModel&) = default;
+  SharedModel(SharedModel&&) = default;
+  SharedModel& operator=(SharedModel&&) = default;
+
+  const Sequential& graph() const { return *model_; }
+  std::shared_ptr<const Sequential> graph_ptr() const { return model_; }
+  std::size_t num_trainable() const { return graph().num_trainable(); }
+
+  // Escape hatch for weight loading and the stateful train/eval path.
+  // Mutating the graph while contexts built from this model are running
+  // is a race: do it before serving starts or after it drains.
+  Sequential& mutable_graph() { return *model_; }
+
+ private:
+  std::shared_ptr<Sequential> model_;
+};
+
+class InferenceContext {
+ public:
+  // Plans the whole network for inputs of per-sample shape `sample_shape`
+  // (e.g. {C, 1, W}) at batches up to `max_batch`, and allocates the
+  // arena. Keeps the graph alive via the model's shared_ptr.
+  InferenceContext(const SharedModel& model, tensor::StaticShape sample_shape,
+                   std::size_t max_batch);
+
+  InferenceContext(const InferenceContext&) = delete;
+  InferenceContext& operator=(const InferenceContext&) = delete;
+
+  // Caller-writable input slice: room for max_batch() * sample_numel()
+  // floats, row-major by sample.
+  float* input() { return input_; }
+  std::size_t sample_numel() const { return in_shape_.sample_numel(); }
+  std::size_t max_batch() const { return max_batch_; }
+  std::size_t arena_floats() const { return arena_.size(); }
+
+  // Const forward over the first n rows of input(). Returns the final
+  // activation (logits) view, [n, K], valid until the next run. Zero heap
+  // allocations in steady state.
+  tensor::ConstTensorView run(std::size_t n);
+
+ private:
+  std::shared_ptr<const Sequential> graph_;
+  std::size_t max_batch_;
+  tensor::StaticShape in_shape_;  // [max_batch, sample...]
+  std::vector<InferencePlan> steps_;
+  std::vector<float> arena_;
+  float* input_ = nullptr;
+  float* act_[2] = {nullptr, nullptr};  // ping-pong activation slices
+};
+
+class ContextPool {
+ public:
+  ContextPool(const SharedModel& model, tensor::StaticShape sample_shape,
+              std::size_t max_batch);
+
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept : pool_(o.pool_), ctx_(o.ctx_) {
+      o.pool_ = nullptr;
+      o.ctx_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(ctx_);
+    }
+
+    InferenceContext& operator*() const { return *ctx_; }
+    InferenceContext* operator->() const { return ctx_; }
+
+   private:
+    friend class ContextPool;
+    Lease(ContextPool* pool, InferenceContext* ctx) : pool_(pool), ctx_(ctx) {}
+    ContextPool* pool_;
+    InferenceContext* ctx_;
+  };
+
+  // Hands out a free context, building a new one only when every existing
+  // context is leased (cold path). Steady-state acquire/release is a
+  // mutex-guarded freelist pop/push — no heap traffic.
+  Lease acquire();
+
+  std::size_t contexts_built() const;
+  std::size_t max_batch() const { return max_batch_; }
+
+ private:
+  friend class Lease;
+  void release(InferenceContext* ctx);
+
+  SharedModel model_;  // shares the graph, keeps it alive
+  tensor::StaticShape sample_shape_;
+  std::size_t max_batch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<InferenceContext>> all_;
+  std::vector<InferenceContext*> free_;
+};
+
+}  // namespace deepcsi::nn

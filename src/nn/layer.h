@@ -1,9 +1,22 @@
 // Layer interface for the from-scratch NN stack.
 //
-// Layers own their parameters (value + gradient accumulator) and cache
-// whatever forward state their backward pass needs. The training loop is
-// strictly: forward(batch, training=true) through all layers, loss head,
-// backward in reverse order, optimizer step on the collected Params.
+// Every layer exposes two forward paths:
+//
+//   * The stateful train path — forward(x, training) caches whatever the
+//     backward pass needs (inputs, im2col columns, pool argmaxes), then
+//     backward() consumes it. Owned by Trainer; never safe to share.
+//   * The const serve path — plan_inference() describes, for a fixed max
+//     batch, every intermediate shape and scratch buffer the layer needs,
+//     and forward_into() executes against pre-resolved arena slices
+//     without mutating the layer. This is what SharedModel /
+//     InferenceContext (nn/infer.h) build on: immutable weights, all
+//     execution state in the per-thread context, zero steady-state heap
+//     allocations, and outputs bitwise identical to
+//     forward(x, /*training=*/false).
+//
+// The training loop is strictly: forward(batch, training=true) through
+// all layers, loss head, backward in reverse order, optimizer step on the
+// collected Params.
 #pragma once
 
 #include <memory>
@@ -11,6 +24,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/view.h"
 
 namespace deepcsi::nn {
 
@@ -24,6 +38,29 @@ struct Param {
   std::size_t numel() const { return value.numel(); }
 };
 
+// One layer's slot in an inference plan. Built once per InferenceContext
+// (heap use is fine there); immutable during forward_into.
+struct InferencePlan {
+  tensor::StaticShape in_shape;   // dim0 = the plan's max batch
+  tensor::StaticShape out_shape;  // filled by plan_inference
+  // Scratch slices the layer needs, as float counts at planned max batch;
+  // the context carves them from the arena and resolves the pointers.
+  std::vector<std::size_t> scratch_numel;
+  std::vector<float*> scratch;
+  // Plans for nested layers (e.g. the conv inside SpatialAttention),
+  // planned recursively and resolved like any other slice.
+  std::vector<InferencePlan> children;
+};
+
+// Arguments of one const forward step. x/y are arena slices re-batched to
+// the actual n (= x.dim(0)) <= plan.in_shape.dim(0); all other dims match
+// the plan.
+struct InferArgs {
+  tensor::ConstTensorView x;
+  tensor::TensorView y;
+  const InferencePlan& plan;
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -35,12 +72,23 @@ class Layer {
   // gradients are accumulated into params()[i]->grad.
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  // Given plan.in_shape, fill out_shape / scratch_numel / children. Must
+  // be pure: no layer state may change, so any number of contexts can be
+  // planned from one shared model.
+  virtual void plan_inference(InferencePlan& plan) const = 0;
+
+  // Const forward for serving: read args.x, write args.y, using only the
+  // pre-planned scratch in args.plan. Never allocates, never mutates the
+  // layer, and is bitwise identical to forward(x, /*training=*/false).
+  virtual void forward_into(const InferArgs& args) const = 0;
+
   virtual std::vector<Param*> params() { return {}; }
+  virtual std::vector<const Param*> params() const { return {}; }
   virtual std::string name() const = 0;
 
-  std::size_t num_trainable() {
+  std::size_t num_trainable() const {
     std::size_t n = 0;
-    for (Param* p : params()) n += p->numel();
+    for (const Param* p : params()) n += p->numel();
     return n;
   }
 };

@@ -1,5 +1,7 @@
 #include "nn/model.h"
 
+#include <utility>
+
 namespace deepcsi::nn {
 
 Tensor Sequential::forward(const Tensor& x, bool training) {
@@ -22,13 +24,20 @@ std::vector<Param*> Sequential::params() {
   return out;
 }
 
+std::vector<const Param*> Sequential::params() const {
+  std::vector<const Param*> out;
+  for (const auto& layer : layers_)
+    for (const Param* p : std::as_const(*layer).params()) out.push_back(p);
+  return out;
+}
+
 void Sequential::zero_grad() {
   for (Param* p : params()) p->grad.zero();
 }
 
-std::size_t Sequential::num_trainable() {
+std::size_t Sequential::num_trainable() const {
   std::size_t n = 0;
-  for (Param* p : params()) n += p->numel();
+  for (const Param* p : params()) n += p->numel();
   return n;
 }
 

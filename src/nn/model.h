@@ -29,10 +29,12 @@ class Sequential {
   Tensor backward(const Tensor& grad_out);
 
   std::vector<Param*> params();
+  std::vector<const Param*> params() const;
   void zero_grad();
-  std::size_t num_trainable();
+  std::size_t num_trainable() const;
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
  private:
   std::vector<LayerPtr> layers_;

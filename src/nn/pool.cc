@@ -2,16 +2,10 @@
 
 namespace deepcsi::nn {
 
-Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
-  DEEPCSI_CHECK(x.rank() == 4);
-  const std::size_t n_batch = x.dim(0), ch = x.dim(1), hh = x.dim(2),
-                    ww = x.dim(3);
+void MaxPool2d::compute_forward(const float* x, std::size_t n_batch,
+                                std::size_t ch, std::size_t hh, std::size_t ww,
+                                float* out, std::size_t* argmax) const {
   const std::size_t oh = hh / kh_, ow = ww / kw_;
-  DEEPCSI_CHECK_MSG(oh >= 1 && ow >= 1, "pool kernel larger than input");
-  in_shape_ = x.shape();
-
-  Tensor out({n_batch, ch, oh, ow});
-  argmax_.assign(out.numel(), 0);
   std::size_t o_idx = 0;
   for (std::size_t n = 0; n < n_batch; ++n) {
     for (std::size_t c = 0; c < ch; ++c) {
@@ -32,13 +26,39 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
             }
           }
           out[o_idx] = best;
-          argmax_[o_idx] = best_idx;
+          if (argmax != nullptr) argmax[o_idx] = best_idx;
           ++o_idx;
         }
       }
     }
   }
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+  DEEPCSI_CHECK(x.rank() == 4);
+  const std::size_t n_batch = x.dim(0), ch = x.dim(1), hh = x.dim(2),
+                    ww = x.dim(3);
+  const std::size_t oh = hh / kh_, ow = ww / kw_;
+  DEEPCSI_CHECK_MSG(oh >= 1 && ow >= 1, "pool kernel larger than input");
+  in_shape_ = x.shape();
+
+  Tensor out({n_batch, ch, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  compute_forward(x.data(), n_batch, ch, hh, ww, out.data(), argmax_.data());
   return out;
+}
+
+void MaxPool2d::plan_inference(InferencePlan& plan) const {
+  DEEPCSI_CHECK(plan.in_shape.rank == 4);
+  const std::size_t oh = plan.in_shape.dim(2) / kh_;
+  const std::size_t ow = plan.in_shape.dim(3) / kw_;
+  DEEPCSI_CHECK_MSG(oh >= 1 && ow >= 1, "pool kernel larger than input");
+  plan.out_shape = {plan.in_shape.dim(0), plan.in_shape.dim(1), oh, ow};
+}
+
+void MaxPool2d::forward_into(const InferArgs& args) const {
+  compute_forward(args.x.data(), args.x.dim(0), args.x.dim(1), args.x.dim(2),
+                  args.x.dim(3), args.y.data(), /*argmax=*/nullptr);
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {

@@ -14,9 +14,17 @@ class MaxPool2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
+  void plan_inference(InferencePlan& plan) const override;
+  void forward_into(const InferArgs& args) const override;
   std::string name() const override { return "max_pool2d"; }
 
  private:
+  // Shared pooling loop: records the argmax only when asked (training
+  // caches it for backward; the const serve path does not need it).
+  void compute_forward(const float* x, std::size_t n_batch, std::size_t ch,
+                       std::size_t hh, std::size_t ww, float* out,
+                       std::size_t* argmax) const;
+
   std::size_t kh_, kw_;
   std::vector<std::size_t> argmax_;  // flat input index per output element
   std::vector<std::size_t> in_shape_;

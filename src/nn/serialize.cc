@@ -30,7 +30,7 @@ void read_bytes(std::FILE* f, void* p, std::size_t n) {
 
 }  // namespace
 
-void save_weights(Sequential& model, const std::string& path) {
+void save_weights(const Sequential& model, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) throw std::runtime_error("cannot write weights: " + path);
   write_bytes(f.get(), kMagic, 4);
@@ -38,7 +38,7 @@ void save_weights(Sequential& model, const std::string& path) {
   const auto params = model.params();
   const std::uint32_t count = static_cast<std::uint32_t>(params.size());
   write_bytes(f.get(), &count, 4);
-  for (Param* p : params) {
+  for (const Param* p : params) {
     const std::uint32_t rank = static_cast<std::uint32_t>(p->value.rank());
     write_bytes(f.get(), &rank, 4);
     for (std::size_t d = 0; d < rank; ++d) {

@@ -10,7 +10,7 @@
 
 namespace deepcsi::nn {
 
-void save_weights(Sequential& model, const std::string& path);
+void save_weights(const Sequential& model, const std::string& path);
 
 // The model must already have the exact architecture the weights came
 // from; shape mismatches throw std::runtime_error.

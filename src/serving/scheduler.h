@@ -1,24 +1,30 @@
-// Batching scheduler: a single consumer thread that drains a ReportQueue
-// and coalesces pending items into batches under a max-batch / max-latency
-// policy — flush when the batch is full OR when the oldest item in it has
-// waited `max_latency`, whichever comes first (plus a final drain flush at
-// shutdown). The sink runs on the scheduler thread; for the serving path
-// it is Authenticator::classify_batch, which fans the actual work out
-// across the global thread pool, so one consumer thread is all the
-// scheduler needs (classify_batch is not safe for concurrent callers on
-// one Authenticator anyway).
+// Batching scheduler: N consumer lanes, each a (queue, worker thread)
+// pair that drains its own ReportQueue and coalesces pending items into
+// batches under a max-batch / max-latency policy — flush when the batch
+// is full OR when the oldest item in it has waited `max_latency`,
+// whichever comes first (plus a final drain flush at shutdown).
 //
-// Determinism: items are handed to the sink in exact queue (FIFO) order,
-// and batch *boundaries* only affect grouping, never per-item results —
-// classify_batch is bit-identical to per-report classify regardless of
-// batch composition. So with a single producer the sink observes the same
-// item sequence whatever the timing or DEEPCSI_THREADS, which is what
-// makes end-to-end verdicts reproducible.
+// Lanes are how serving scales past one inference stream: with the
+// SharedModel / InferenceContext split, every lane runs const forward
+// passes through its own arena context, so shards classify in parallel
+// instead of serializing on one stateful model. The caller owns the
+// routing (which queue an item is pushed to); AuthService shards by
+// station MAC, so one station's reports always flow through one lane in
+// FIFO order — which is what keeps per-station verdicts deterministic
+// for any lane count.
+//
+// Determinism: within a lane, items are handed to the sink in exact queue
+// (FIFO) order, and batch *boundaries* only affect grouping, never
+// per-item results — classify_batch is bit-identical to per-report
+// classify regardless of batch composition. So for a fixed routing and a
+// single producer, every lane's sink observes the same item sequence
+// whatever the timing, DEEPCSI_THREADS or lane count.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -49,12 +55,28 @@ struct SchedulerStats {
 template <typename T>
 class BatchingScheduler {
  public:
-  using Sink = std::function<void(std::vector<T>&&, FlushReason)>;
+  // The sink receives the flushed batch plus the lane it came from; it
+  // runs on that lane's consumer thread, so sinks of different lanes may
+  // execute concurrently and must only share thread-safe state.
+  using Sink = std::function<void(std::vector<T>&&, FlushReason, std::size_t)>;
 
+  // Single-lane convenience (the common embedded/test configuration).
   BatchingScheduler(common::ReportQueue<T>& queue, SchedulerConfig cfg,
                     Sink sink)
-      : queue_(queue), cfg_(cfg), sink_(std::move(sink)) {
+      : BatchingScheduler(std::vector<common::ReportQueue<T>*>{&queue}, cfg,
+                          std::move(sink)) {}
+
+  // One consumer lane per queue.
+  BatchingScheduler(std::vector<common::ReportQueue<T>*> queues,
+                    SchedulerConfig cfg, Sink sink)
+      : cfg_(cfg), sink_(std::move(sink)) {
     DEEPCSI_CHECK(cfg_.max_batch >= 1);
+    DEEPCSI_CHECK(!queues.empty());
+    lanes_.reserve(queues.size());
+    for (common::ReportQueue<T>* queue : queues) {
+      DEEPCSI_CHECK(queue != nullptr);
+      lanes_.push_back(std::make_unique<Lane>(queue));
+    }
   }
 
   ~BatchingScheduler() { join(); }
@@ -63,32 +85,64 @@ class BatchingScheduler {
   BatchingScheduler& operator=(const BatchingScheduler&) = delete;
 
   void start() {
-    DEEPCSI_CHECK(!thread_.joinable());
-    thread_ = std::thread([this] { run(); });
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      Lane& lane = *lanes_[i];
+      DEEPCSI_CHECK(!lane.thread.joinable());
+      lane.thread = std::thread([this, &lane, i] { run(lane, i); });
+    }
   }
 
-  // Returns once the queue has been closed and every queued item has been
-  // flushed through the sink. (Close the queue first, or this blocks.)
+  // Returns once every queue has been closed and every queued item has
+  // been flushed through the sink. (Close the queues first, or this
+  // blocks.)
   void join() {
-    if (thread_.joinable()) thread_.join();
+    for (auto& lane : lanes_)
+      if (lane->thread.joinable()) lane->thread.join();
   }
 
+  std::size_t num_lanes() const { return lanes_.size(); }
+
+  // Aggregate over all lanes (max_batch_seen is the max across lanes).
   SchedulerStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    return stats_;
+    SchedulerStats total;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const SchedulerStats s = lane_stats(i);
+      total.batches += s.batches;
+      total.items += s.items;
+      total.flush_full += s.flush_full;
+      total.flush_deadline += s.flush_deadline;
+      total.flush_drain += s.flush_drain;
+      if (s.max_batch_seen > total.max_batch_seen)
+        total.max_batch_seen = s.max_batch_seen;
+    }
+    return total;
+  }
+
+  SchedulerStats lane_stats(std::size_t i) const {
+    const Lane& lane = *lanes_.at(i);
+    std::lock_guard<std::mutex> lock(lane.mu);
+    return lane.stats;
   }
 
  private:
-  void run() {
+  struct Lane {
+    explicit Lane(common::ReportQueue<T>* q) : queue(q) {}
+    common::ReportQueue<T>* queue;
+    std::thread thread;
+    mutable std::mutex mu;
+    SchedulerStats stats;
+  };
+
+  void run(Lane& lane, std::size_t index) {
     std::vector<T> batch;
     batch.reserve(cfg_.max_batch);
     T item;
-    while (queue_.pop(item)) {
+    while (lane.queue->pop(item)) {
       batch.push_back(std::move(item));
       const auto deadline = std::chrono::steady_clock::now() + cfg_.max_latency;
       FlushReason reason = FlushReason::kBatchFull;
       while (batch.size() < cfg_.max_batch) {
-        const common::PopStatus status = queue_.pop_until(item, deadline);
+        const common::PopStatus status = lane.queue->pop_until(item, deadline);
         if (status == common::PopStatus::kItem) {
           batch.push_back(std::move(item));
           continue;
@@ -97,32 +151,30 @@ class BatchingScheduler {
                                                       : FlushReason::kDeadline;
         break;
       }
-      flush(std::move(batch), reason);
+      flush(lane, index, std::move(batch), reason);
       batch.clear();
       batch.reserve(cfg_.max_batch);
     }
   }
 
-  void flush(std::vector<T>&& batch, FlushReason reason) {
+  void flush(Lane& lane, std::size_t index, std::vector<T>&& batch,
+             FlushReason reason) {
     const std::size_t n = batch.size();
-    sink_(std::move(batch), reason);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.batches;
-    stats_.items += n;
-    if (n > stats_.max_batch_seen) stats_.max_batch_seen = n;
+    sink_(std::move(batch), reason, index);
+    std::lock_guard<std::mutex> lock(lane.mu);
+    ++lane.stats.batches;
+    lane.stats.items += n;
+    if (n > lane.stats.max_batch_seen) lane.stats.max_batch_seen = n;
     switch (reason) {
-      case FlushReason::kBatchFull: ++stats_.flush_full; break;
-      case FlushReason::kDeadline: ++stats_.flush_deadline; break;
-      case FlushReason::kDrain: ++stats_.flush_drain; break;
+      case FlushReason::kBatchFull: ++lane.stats.flush_full; break;
+      case FlushReason::kDeadline: ++lane.stats.flush_deadline; break;
+      case FlushReason::kDrain: ++lane.stats.flush_drain; break;
     }
   }
 
-  common::ReportQueue<T>& queue_;
   const SchedulerConfig cfg_;
   Sink sink_;
-  std::thread thread_;
-  mutable std::mutex stats_mu_;
-  SchedulerStats stats_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
 };
 
 }  // namespace deepcsi::serving

@@ -1,9 +1,11 @@
 #include "serving/service.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace deepcsi::serving {
 
@@ -18,17 +20,47 @@ double percentile_ms(const std::vector<double>& sorted, double q) {
   return sorted[rank];
 }
 
+std::size_t lane_count(const ServiceConfig& cfg) {
+  return cfg.consumers == 0 ? 1 : cfg.consumers;
+}
+
+std::vector<std::unique_ptr<common::ReportQueue<PendingReport>>> make_queues(
+    const ServiceConfig& cfg) {
+  const std::size_t lanes = lane_count(cfg);
+  // The configured capacity is the total in-flight budget; each lane gets
+  // an even share (at least 1).
+  const std::size_t per_lane =
+      std::max<std::size_t>(1, cfg.queue_capacity / lanes);
+  std::vector<std::unique_ptr<common::ReportQueue<PendingReport>>> queues;
+  queues.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i)
+    queues.push_back(std::make_unique<common::ReportQueue<PendingReport>>(
+        per_lane, cfg.policy));
+  return queues;
+}
+
+std::vector<common::ReportQueue<PendingReport>*> queue_ptrs(
+    const std::vector<std::unique_ptr<common::ReportQueue<PendingReport>>>&
+        queues) {
+  std::vector<common::ReportQueue<PendingReport>*> ptrs;
+  ptrs.reserve(queues.size());
+  for (const auto& q : queues) ptrs.push_back(q.get());
+  return ptrs;
+}
+
 }  // namespace
 
 AuthService::AuthService(const core::Authenticator& auth, ServiceConfig cfg)
     : auth_(auth),
       cfg_(cfg),
-      queue_(cfg.queue_capacity, cfg.policy),
-      sessions_(cfg.sessions),
-      scheduler_(queue_, cfg.scheduler,
-                 [this](std::vector<PendingReport>&& batch, FlushReason reason) {
-                   on_batch(std::move(batch), reason);
-                 }) {}
+      queues_(make_queues(cfg_)),
+      sessions_(cfg_.sessions),
+      scheduler_(queue_ptrs(queues_), cfg_.scheduler,
+                 [this](std::vector<PendingReport>&& batch, FlushReason reason,
+                        std::size_t lane) {
+                   on_batch(std::move(batch), reason, lane);
+                 }),
+      lane_scratch_(queues_.size()) {}
 
 AuthService::~AuthService() { drain(); }
 
@@ -42,6 +74,13 @@ void AuthService::start() {
   scheduler_.start();
 }
 
+std::size_t AuthService::lane_for(const capture::MacAddress& station) const {
+  // Same mixing as the session table: a station maps to exactly one lane,
+  // so its reports are classified in submission order whatever the lane
+  // count — the invariant every verdict guarantee rests on.
+  return common::mix64(station.to_u64()) % queues_.size();
+}
+
 bool AuthService::submit(const capture::ObservedFeedback& obs) {
   return submit(obs.beamformee, obs.timestamp_s, obs.report);
 }
@@ -53,11 +92,11 @@ bool AuthService::submit(capture::MacAddress station, double timestamp_s,
   item.timestamp_s = timestamp_s;
   item.report = std::move(report);
   item.enqueued_at = std::chrono::steady_clock::now();
-  return queue_.push(std::move(item));
+  return queues_[lane_for(station)]->push(std::move(item));
 }
 
 void AuthService::drain() {
-  queue_.close();
+  for (auto& queue : queues_) queue->close();
   scheduler_.join();
   std::lock_guard<std::mutex> lock(stats_mu_);
   if (started_ && !drained_) {
@@ -67,19 +106,25 @@ void AuthService::drain() {
 }
 
 void AuthService::on_batch(std::vector<PendingReport>&& batch,
-                           FlushReason /*reason*/) {
+                           FlushReason /*reason*/, std::size_t lane) {
   if (batch.empty()) return;
   const auto oldest_enqueued = batch.front().enqueued_at;
+  LaneScratch& scratch = lane_scratch_[lane];
 
-  batch_reports_.resize(batch.size());
+  scratch.reports.resize(batch.size());
+  scratch.predictions.resize(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
-    batch_reports_[i] = std::move(batch[i].report);
+    scratch.reports[i] = std::move(batch[i].report);
 
-  const std::vector<core::Authenticator::Prediction> preds =
-      auth_.classify_batch(batch_reports_);
+  // Const forward through this lane's leased InferenceContext; lanes run
+  // concurrently against the one immutable SharedModel.
+  auth_.classify_batch_into(scratch.reports,
+                            std::span(scratch.predictions.data(),
+                                      scratch.predictions.size()));
 
   for (std::size_t i = 0; i < batch.size(); ++i)
-    sessions_.record(batch[i].station, preds[i], batch[i].timestamp_s);
+    sessions_.record(batch[i].station, scratch.predictions[i],
+                     batch[i].timestamp_s);
 
   const double latency_ms =
       std::chrono::duration<double, std::milli>(
@@ -96,10 +141,26 @@ void AuthService::on_batch(std::vector<PendingReport>&& batch,
   if (latency_ms > batch_latency_max_ms_) batch_latency_max_ms_ = latency_ms;
 }
 
+LaneStats AuthService::lane_stats(std::size_t lane) const {
+  LaneStats s;
+  s.queue = queues_.at(lane)->stats();
+  s.scheduler = scheduler_.lane_stats(lane);
+  return s;
+}
+
 ServiceStats AuthService::stats() const {
   ServiceStats s;
-  s.queue = queue_.stats();
+  for (const auto& queue : queues_) {
+    const common::QueueStats q = queue->stats();
+    s.queue.depth += q.depth;
+    s.queue.peak_depth += q.peak_depth;
+    s.queue.pushed += q.pushed;
+    s.queue.popped += q.popped;
+    s.queue.dropped_oldest += q.dropped_oldest;
+    s.queue.rejected += q.rejected;
+  }
   s.scheduler = scheduler_.stats();
+  s.consumers = queues_.size();
   std::lock_guard<std::mutex> lock(stats_mu_);
   s.reports_classified = reports_classified_;
   if (started_) {

@@ -2,25 +2,29 @@
 // pipeline into a long-running multi-station observer (the deployment of
 // Fig. 1 — a passive monitor fingerprinting every beamformee it can hear).
 //
-//   producers ──> ReportQueue ──> BatchingScheduler ──> classify_batch
-//   (capture /      (bounded,        (single consumer,     (fans out on
-//    replay          backpressure     flush at max_batch    the global
-//    threads)        policy)          or max_latency)       thread pool)
-//                                          │
-//                                          └──> SessionTable (per-station
-//                                               rolling majority verdict)
+//   producers ──> shard by station MAC ──> lane queues ──> consumers
+//   (capture /      (mix64(MAC) %           (bounded,        (one thread +
+//    replay          consumers; one          backpressure     InferenceContext
+//    threads)        station = one lane)     policy each)     per lane)
+//                                                                │
+//                              SessionTable (per-station  <──────┘
+//                              rolling majority verdict)
 //
-// Any number of producer threads call submit(); one scheduler thread owns
-// the Authenticator (classify_batch is not reentrant) and parallelism
-// comes from the thread pool inside it. With a single producer the item
-// order — and therefore every per-station verdict, vote count and mean
-// confidence — is bit-identical for any DEEPCSI_THREADS and any batch
-// timing, because per-report predictions do not depend on batch
-// composition.
+// Any number of producer threads call submit(); each report is routed to
+// the lane owning its station, and every lane classifies its batches
+// through the shared Authenticator's context pool — concurrent const
+// forward passes over one immutable SharedModel, no serialization between
+// lanes. Because a station's reports always flow through exactly one lane
+// in FIFO order, the per-station prediction sequence — and therefore every
+// verdict, vote count and mean confidence — is identical for ANY consumer
+// count, any DEEPCSI_THREADS and any batch timing (per-report predictions
+// do not depend on batch composition). With a single producer this makes
+// end-to-end verdicts fully reproducible.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -33,15 +37,20 @@
 namespace deepcsi::serving {
 
 struct ServiceConfig {
+  // Total queued-report budget, divided evenly across consumer lanes.
   std::size_t queue_capacity = 1024;
   common::OverflowPolicy policy = common::OverflowPolicy::kBlock;
-  SchedulerConfig scheduler;  // max_batch / max_latency
+  SchedulerConfig scheduler;  // max_batch / max_latency (per lane)
   SessionConfig sessions;     // verdict window / shard count
+  // Consumer lanes. Each lane owns a queue, a scheduler thread and an
+  // InferenceContext lease; stations are sharded across lanes by MAC.
+  std::size_t consumers = 1;
 };
 
 struct ServiceStats {
-  common::QueueStats queue;
-  SchedulerStats scheduler;
+  common::QueueStats queue;  // aggregated over lanes (peak_depth summed)
+  SchedulerStats scheduler;  // aggregated over lanes
+  std::size_t consumers = 1;
   std::size_t reports_classified = 0;
   double wall_seconds = 0.0;       // start() .. drain() (or "so far")
   double throughput_rps = 0.0;     // reports_classified / wall_seconds
@@ -50,6 +59,12 @@ struct ServiceStats {
   double batch_latency_p50_ms = 0.0;
   double batch_latency_p99_ms = 0.0;
   double batch_latency_max_ms = 0.0;
+};
+
+// Per-lane view for observability (CLI stats block, benches).
+struct LaneStats {
+  common::QueueStats queue;
+  SchedulerStats scheduler;
 };
 
 // One report waiting for the classifier.
@@ -63,7 +78,7 @@ struct PendingReport {
 class AuthService {
  public:
   // The Authenticator must outlive the service; the service never mutates
-  // its weights, it only runs forward passes from the scheduler thread.
+  // its weights, it only runs const forward passes from the lane threads.
   AuthService(const core::Authenticator& auth, ServiceConfig cfg);
   ~AuthService();
 
@@ -74,31 +89,42 @@ class AuthService {
 
   // Producer entry points (thread-safe). Returns false when the report
   // was not accepted: service draining, or kReject policy with a full
-  // queue. Under kDropOldest acceptance always succeeds but may evict the
-  // oldest queued report (counted in stats().queue.dropped_oldest).
+  // lane queue. Under kDropOldest acceptance always succeeds but may evict
+  // the oldest queued report of the same lane (counted in
+  // stats().queue.dropped_oldest).
   bool submit(const capture::ObservedFeedback& obs);
   bool submit(capture::MacAddress station, double timestamp_s,
               feedback::CompressedFeedbackReport report);
 
   // Stops intake, classifies everything still queued, and joins the
-  // scheduler thread. Idempotent.
+  // lane threads. Idempotent.
   void drain();
 
   ServiceStats stats() const;
+  std::size_t num_lanes() const { return queues_.size(); }
+  LaneStats lane_stats(std::size_t lane) const;
   const SessionTable& sessions() const { return sessions_; }
 
  private:
-  void on_batch(std::vector<PendingReport>&& batch, FlushReason reason);
+  void on_batch(std::vector<PendingReport>&& batch, FlushReason reason,
+                std::size_t lane);
+  std::size_t lane_for(const capture::MacAddress& station) const;
 
   const core::Authenticator& auth_;
   ServiceConfig cfg_;
-  common::ReportQueue<PendingReport> queue_;
+  // One bounded queue per lane (ReportQueue is not movable, hence the
+  // unique_ptr indirection).
+  std::vector<std::unique_ptr<common::ReportQueue<PendingReport>>> queues_;
   SessionTable sessions_;
   BatchingScheduler<PendingReport> scheduler_;
 
-  // Scheduler-thread scratch: report storage reused across batches so a
-  // flush moves payloads instead of copying them.
-  std::vector<feedback::CompressedFeedbackReport> batch_reports_;
+  // Lane-thread scratch, reused across batches so a flush moves payloads
+  // and reuses prediction storage instead of allocating.
+  struct LaneScratch {
+    std::vector<feedback::CompressedFeedbackReport> reports;
+    std::vector<core::Authenticator::Prediction> predictions;
+  };
+  std::vector<LaneScratch> lane_scratch_;
 
   mutable std::mutex stats_mu_;
   std::size_t reports_classified_ = 0;

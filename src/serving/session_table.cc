@@ -3,20 +3,11 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace deepcsi::serving {
 
 namespace {
-
-// splitmix64 finalizer: spreads the 48 meaningful MAC bits across the
-// word so consecutive station ids (same OUI, last octet counting up)
-// land on different shards.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
 
 capture::MacAddress mac_from_u64(std::uint64_t key) {
   capture::MacAddress mac;
@@ -37,7 +28,7 @@ SessionTable::SessionTable(SessionConfig cfg) : cfg_(cfg) {
 }
 
 SessionTable::Shard& SessionTable::shard_for(std::uint64_t key) const {
-  return shards_[mix(key) % cfg_.num_shards];
+  return shards_[common::mix64(key) % cfg_.num_shards];
 }
 
 void SessionTable::record(const capture::MacAddress& station,

@@ -125,7 +125,8 @@ struct RecordedFlush {
 class FlushRecorder {
  public:
   serving::BatchingScheduler<int>::Sink sink() {
-    return [this](std::vector<int>&& batch, FlushReason reason) {
+    return [this](std::vector<int>&& batch, FlushReason reason,
+                  std::size_t /*lane*/) {
       std::lock_guard<std::mutex> lock(mu_);
       flushes_.push_back({std::move(batch), reason});
     };
@@ -198,6 +199,42 @@ TEST(BatchingSchedulerTest, FlushesAtDeadlineWhenBatchStaysPartial) {
   EXPECT_EQ(flushes[0].items, (std::vector<int>{0, 1, 2}));
   EXPECT_EQ(flushes[0].reason, FlushReason::kDeadline);
   EXPECT_EQ(sched.stats().flush_deadline, 1u);
+}
+
+TEST(BatchingSchedulerTest, MultiLaneDrainsEveryQueueWithPerLaneFifoOrder) {
+  // Two lanes, fully pre-loaded and closed: each lane must flush its own
+  // queue in FIFO order on its own consumer thread, and the aggregate
+  // stats must sum the lanes.
+  ReportQueue<int> q0(64, OverflowPolicy::kBlock);
+  ReportQueue<int> q1(64, OverflowPolicy::kBlock);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q0.push(i));
+  for (int i = 100; i < 103; ++i) ASSERT_TRUE(q1.push(i));
+  q0.close();
+  q1.close();
+
+  std::mutex mu;
+  std::vector<std::vector<int>> per_lane(2);
+  serving::SchedulerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_latency = std::chrono::seconds(3600);
+  serving::BatchingScheduler<int> sched(
+      std::vector<ReportQueue<int>*>{&q0, &q1}, cfg,
+      [&](std::vector<int>&& batch, FlushReason, std::size_t lane) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (int v : batch) per_lane[lane].push_back(v);
+      });
+  ASSERT_EQ(sched.num_lanes(), 2u);
+  sched.start();
+  sched.join();
+
+  EXPECT_EQ(per_lane[0], (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(per_lane[1], (std::vector<int>{100, 101, 102}));
+  const serving::SchedulerStats total = sched.stats();
+  EXPECT_EQ(total.items, 8u);
+  EXPECT_EQ(sched.lane_stats(0).items, 5u);
+  EXPECT_EQ(sched.lane_stats(1).items, 3u);
+  EXPECT_EQ(total.batches,
+            sched.lane_stats(0).batches + sched.lane_stats(1).batches);
 }
 
 // ------------------------------------------------------------ SessionTable
@@ -378,6 +415,82 @@ TEST(AuthServiceTest, SingleProducerVerdictsBitIdenticalAcrossThreadCounts) {
     // accumulation order => the same doubles.
     EXPECT_EQ(verdicts_1t[i].mean_confidence, verdicts_4t[i].mean_confidence);
     EXPECT_EQ(verdicts_1t[i].last_timestamp_s, verdicts_4t[i].last_timestamp_s);
+  }
+}
+
+// A wider interleaved stream so several lanes get work: `stations`
+// beamformees, station s emitting module-(s % kNumModules) reports.
+std::vector<capture::ObservedFeedback> make_multi_station_stream(
+    int stations) {
+  dataset::Scale scale;
+  scale.d1_snapshots_per_trace = 6;
+  std::vector<std::vector<feedback::CompressedFeedbackReport>> per_station;
+  for (int s = 0; s < stations; ++s) {
+    const dataset::Trace trace = dataset::generate_d1_trace(
+        s % phy::kNumModules, 1, 0, scale, {});
+    std::vector<feedback::CompressedFeedbackReport> reports;
+    for (const dataset::Snapshot& snap : trace.snapshots)
+      reports.push_back(snap.report);
+    per_station.push_back(std::move(reports));
+  }
+  std::vector<capture::ObservedFeedback> stream;
+  for (std::size_t i = 0; i < per_station[0].size(); ++i)
+    for (int s = 0; s < stations; ++s) {
+      capture::ObservedFeedback obs;
+      obs.timestamp_s = 0.01 * static_cast<double>(stream.size());
+      obs.beamformee = capture::MacAddress::for_station(s);
+      obs.beamformer = capture::MacAddress::for_module(0);
+      obs.report = per_station[static_cast<std::size_t>(s)][i];
+      stream.push_back(std::move(obs));
+    }
+  return stream;
+}
+
+TEST(AuthServiceTest, MultiConsumerVerdictsMatchSingleConsumer) {
+  // The tentpole guarantee: sharding stations across N consumer lanes
+  // changes throughput, never verdicts. Every field — including the
+  // mean-confidence double — must match the single-consumer run exactly.
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 4;
+  const core::Authenticator auth = make_authenticator(spec);
+  const auto stream = make_multi_station_stream(6);
+
+  auto run_with_consumers = [&](std::size_t consumers) {
+    serving::ServiceConfig cfg = small_service_config();
+    cfg.consumers = consumers;
+    serving::AuthService service(auth, cfg);
+    serving::ReplayConfig replay;  // one producer, one loop, unpaced
+    const serving::ReplayResult rr =
+        serving::replay_observed(service, stream, replay);
+    EXPECT_EQ(rr.accepted, stream.size());
+    EXPECT_EQ(service.num_lanes(), consumers);
+    const serving::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.reports_classified, stream.size());
+    EXPECT_EQ(stats.consumers, consumers);
+    // Per-lane scheduler items must add up to the whole stream.
+    std::size_t lane_items = 0;
+    for (std::size_t lane = 0; lane < service.num_lanes(); ++lane)
+      lane_items += service.lane_stats(lane).scheduler.items;
+    EXPECT_EQ(lane_items, stream.size());
+    return service.sessions().snapshot();
+  };
+
+  const auto single = run_with_consumers(1);
+  ASSERT_EQ(single.size(), 6u);
+  for (const std::size_t consumers : {std::size_t{2}, std::size_t{4}}) {
+    const auto multi = run_with_consumers(consumers);
+    ASSERT_EQ(multi.size(), single.size()) << consumers << " consumers";
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(multi[i].station, single[i].station);
+      EXPECT_EQ(multi[i].module_id, single[i].module_id);
+      EXPECT_EQ(multi[i].votes, single[i].votes);
+      EXPECT_EQ(multi[i].window_size, single[i].window_size);
+      EXPECT_EQ(multi[i].total_reports, single[i].total_reports);
+      // Bit-identical: one station's predictions arrive in stream order
+      // on one lane, so the confidence accumulation order is fixed.
+      EXPECT_EQ(multi[i].mean_confidence, single[i].mean_confidence);
+      EXPECT_EQ(multi[i].last_timestamp_s, single[i].last_timestamp_s);
+    }
   }
 }
 

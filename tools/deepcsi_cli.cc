@@ -111,7 +111,7 @@ int usage() {
                "[--producers P=1] [--rate RPS=0]\n"
                "           [--batch B=64] [--latency-us L=2000] "
                "[--policy block|drop-oldest|reject] [--queue C=1024] "
-               "[--window W=31]\n"
+               "[--window W=31] [--consumers K=1]\n"
                "  inspect  --pcap FILE.pcap [--max N=5]\n");
   return 2;
 }
@@ -240,10 +240,12 @@ int cmd_serve(const Args& args) {
   const int max_batch = args.get_int("batch", 64);
   const int latency_us = args.get_int("latency-us", 2000);
   const int window = args.get_int("window", 31);
-  if (queue_capacity < 1 || max_batch < 1 || latency_us < 0 || window < 1) {
+  const int consumers = args.get_int("consumers", 1);
+  if (queue_capacity < 1 || max_batch < 1 || latency_us < 0 || window < 1 ||
+      consumers < 1) {
     std::fprintf(stderr,
-                 "serve: --queue/--batch/--window must be >= 1 and "
-                 "--latency-us >= 0\n");
+                 "serve: --queue/--batch/--window/--consumers must be >= 1 "
+                 "and --latency-us >= 0\n");
     return 2;
   }
   serving::ServiceConfig cfg;
@@ -251,6 +253,7 @@ int cmd_serve(const Args& args) {
   cfg.scheduler.max_batch = static_cast<std::size_t>(max_batch);
   cfg.scheduler.max_latency = std::chrono::microseconds(latency_us);
   cfg.sessions.window = static_cast<std::size_t>(window);
+  cfg.consumers = static_cast<std::size_t>(consumers);
   const std::string policy = args.get("policy", "block");
   if (policy == "block") {
     cfg.policy = common::OverflowPolicy::kBlock;
@@ -286,10 +289,10 @@ int cmd_serve(const Args& args) {
                  "--producers %d clamped to --loop %d\n",
                  replay.producers, replay.loops);
   std::printf("serve: %zu reports/loop x %d loop(s), %d producer(s), "
-              "policy=%s, batch<=%zu, latency<=%dus\n",
+              "%d consumer lane(s), policy=%s, batch<=%zu, latency<=%dus\n",
               observed.size(), replay.loops,
-              std::min(replay.producers, replay.loops), policy.c_str(),
-              cfg.scheduler.max_batch, latency_us);
+              std::min(replay.producers, replay.loops), consumers,
+              policy.c_str(), cfg.scheduler.max_batch, latency_us);
 
   serving::AuthService service(auth, cfg);
   const serving::ReplayResult rr =
@@ -305,20 +308,39 @@ int cmd_serve(const Args& args) {
                 v.window_size, v.mean_confidence, v.total_reports,
                 v.last_timestamp_s);
 
-  std::printf("\nserve: %zu/%zu reports accepted, %zu classified in %.3fs "
-              "(%.0f reports/s)\n",
+  // End-of-run stats block: everything backpressure tuning needs (queue
+  // high-water, drops by policy, what flushed each batch, tail latency)
+  // without reaching for the bench.
+  std::printf("\n--- serve stats ------------------------------------------\n");
+  std::printf("throughput   %zu/%zu reports accepted, %zu classified in "
+              "%.3fs (%.0f reports/s)\n",
               rr.accepted, rr.offered, stats.reports_classified,
               stats.wall_seconds, stats.throughput_rps);
-  std::printf("serve: %zu batches (full=%zu deadline=%zu drain=%zu, "
-              "largest=%zu), batch latency p50=%.2fms p99=%.2fms max=%.2fms\n",
+  std::printf("batches      %zu total: by-size=%zu by-deadline=%zu "
+              "drain=%zu, largest=%zu\n",
               stats.scheduler.batches, stats.scheduler.flush_full,
               stats.scheduler.flush_deadline, stats.scheduler.flush_drain,
-              stats.scheduler.max_batch_seen, stats.batch_latency_p50_ms,
-              stats.batch_latency_p99_ms, stats.batch_latency_max_ms);
-  std::printf("serve: queue peak depth %zu/%zu, dropped-oldest=%zu "
-              "rejected=%zu\n",
+              stats.scheduler.max_batch_seen);
+  std::printf("latency      batch p50=%.2fms p99=%.2fms max=%.2fms\n",
+              stats.batch_latency_p50_ms, stats.batch_latency_p99_ms,
+              stats.batch_latency_max_ms);
+  std::printf("queue        peak depth %zu (budget %zu), drops: "
+              "dropped-oldest=%zu rejected=%zu\n",
               stats.queue.peak_depth, cfg.queue_capacity,
               stats.queue.dropped_oldest, stats.queue.rejected);
+  if (service.num_lanes() > 1) {
+    for (std::size_t lane = 0; lane < service.num_lanes(); ++lane) {
+      const serving::LaneStats ls = service.lane_stats(lane);
+      std::printf("  lane %zu     %zu reports in %zu batches "
+                  "(size/deadline/drain=%zu/%zu/%zu), queue peak %zu, "
+                  "dropped=%zu rejected=%zu\n",
+                  lane, ls.scheduler.items, ls.scheduler.batches,
+                  ls.scheduler.flush_full, ls.scheduler.flush_deadline,
+                  ls.scheduler.flush_drain, ls.queue.peak_depth,
+                  ls.queue.dropped_oldest, ls.queue.rejected);
+    }
+  }
+  std::printf("----------------------------------------------------------\n");
   return stats.reports_classified > 0 ? 0 : 1;
 }
 
