@@ -18,6 +18,7 @@
 #include "core/pipeline.h"
 #include "dataset/scale.h"
 #include "dataset/splits.h"
+#include "nn/simd.h"
 
 namespace deepcsi::bench {
 
@@ -86,6 +87,57 @@ class BenchReport {
   std::string name_;
   std::vector<Metric> metrics_;
 };
+
+// Shared per-SIMD-backend sweep protocol for the throughput benches:
+// for every backend the host can run, measure() returns a reports/s
+// rate (printed as a row and recorded as `metric` with a `backend`
+// attribute plus `extra_attrs`), then classify() returns predictions
+// whose argmax verdicts must agree across backends (the cross-backend
+// contract; recorded as the bool metric "backend_verdicts_match").
+// Restores the previously active backend. Returns false when verdicts
+// diverged — callers ride that on their exit code.
+template <typename MeasureFn, typename ClassifyFn>
+bool sweep_simd_backends(
+    BenchReport& report, const std::string& metric,
+    std::vector<std::pair<std::string, double>> extra_attrs,
+    MeasureFn&& measure, ClassifyFn&& classify) {
+  const std::vector<simd::Backend> backends = simd::available_backends();
+  if (backends.size() < 2)
+    std::printf("NOTE: avx2 backend unavailable on this host — %s has only "
+                "the scalar row\n",
+                metric.c_str());
+  const simd::Backend saved = simd::active();
+  double scalar_rate = 0.0;
+  bool verdicts_match = true;
+  std::vector<core::Authenticator::Prediction> reference;
+  for (const simd::Backend backend : backends) {
+    simd::set_active(backend);
+    const double rate = measure();
+    if (backend == simd::Backend::kScalar) scalar_rate = rate;
+    std::printf("  %-10s %14.1f reports/s  (%.2fx scalar)\n",
+                simd::name(backend), rate,
+                scalar_rate > 0.0 ? rate / scalar_rate : 0.0);
+    std::vector<std::pair<std::string, double>> attrs = extra_attrs;
+    attrs.insert(attrs.begin(),
+                 {"backend", static_cast<double>(backend)});
+    report.add_metric(metric, rate, "reports/s", std::move(attrs));
+    const std::vector<core::Authenticator::Prediction> preds = classify();
+    if (reference.empty()) {
+      reference = preds;
+    } else {
+      for (std::size_t i = 0; i < preds.size(); ++i)
+        if (preds[i].module_id != reference[i].module_id)
+          verdicts_match = false;
+    }
+  }
+  simd::set_active(saved);
+  std::printf("classify verdicts match across backends: %s\n",
+              verdicts_match ? "yes" : "NO");
+  report.add_metric("backend_verdicts_match", verdicts_match ? 1.0 : 0.0,
+                    "bool");
+  std::fflush(stdout);
+  return verdicts_match;
+}
 
 inline void print_header(const std::string& figure, const std::string& what) {
   std::printf("==============================================================\n");

@@ -8,6 +8,11 @@
 //     softmax path (path=0), same batch size and thread count
 //   - serving_consumer_throughput: AuthService classified reports/s at
 //     1 / 2 / 4 consumer lanes
+//   - forward_backend_throughput: pure single-thread forward-pass
+//     reports/s per SIMD backend (scalar vs avx2) — the per-core kernel
+//     speed the DEEPCSI_SIMD dispatch layer buys
+//   - backend_verdicts_match: classify verdicts agree across backends
+//     (rides the exit code alongside the bitwise check below)
 //   - context_matches_legacy: logits of the const forward are bitwise
 //     identical to the stateful forward (also rides the exit code)
 #include <algorithm>
@@ -28,6 +33,7 @@
 #include "dataset/traces.h"
 #include "nn/infer.h"
 #include "nn/loss.h"
+#include "nn/simd.h"
 #include "phy/impairments.h"
 #include "serving/replay.h"
 #include "serving/service.h"
@@ -218,6 +224,45 @@ int main() {
                     {{"path", 0.0}, {"max_batch", static_cast<double>(batch)}});
   report.add_metric("infer_throughput", ctx_rps, "reports/s",
                     {{"path", 1.0}, {"max_batch", static_cast<double>(batch)}});
+
+  // ---- SIMD backend comparison ------------------------------------------
+  // Pure single-thread forward passes through one InferenceContext: the
+  // per-core kernel throughput each backend delivers, uncontaminated by
+  // feature assembly or threading. The avx2/scalar ratio is the dispatch
+  // layer's headline number.
+  {
+    const int saved_threads = common::num_threads();
+    common::set_num_threads(1);
+    const std::size_t c =
+        static_cast<std::size_t>(dataset::num_input_channels(spec));
+    const std::size_t w = dataset::num_input_columns(spec);
+    nn::InferenceContext bctx(auth.shared_model(), {c, 1, w}, reports.size());
+    for (std::size_t i = 0; i < reports.size(); ++i)
+      dataset::fill_features(reports[i], spec, bctx.input() + i * c * w);
+
+    std::printf("\nsingle-thread forward pass per SIMD backend (batch %zu):\n",
+                reports.size());
+    const bool verdicts_match = bench::sweep_simd_backends(
+        report, "forward_backend_throughput", {{"threads", 1.0}},
+        [&] {
+          // This ratio is the PR's headline number and the noisiest
+          // thing on shared runners — run it 8x longer than the other
+          // sections and keep the best of 3 windows so scheduler steal
+          // doesn't write a phantom regression into the trajectory.
+          double rps = 0.0;
+          for (int window = 0; window < 3; ++window)
+            rps = std::max(rps, measure_reports_per_second(
+                                    reports.size(), 8 * reps,
+                                    [&] { bctx.run(reports.size()); }));
+          return rps;
+        },
+        [&] { return auth.classify_batch(reports); });
+    common::set_num_threads(saved_threads);
+    if (!verdicts_match) {
+      report.write_json();
+      return 1;
+    }
+  }
 
   // ---- consumer-lane scaling --------------------------------------------
   // Per-lane-serial forward (1 pool thread): lanes, not the pool, provide

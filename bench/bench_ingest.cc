@@ -11,7 +11,9 @@
 //   2. full ingest: serialized VHT action frame -> parse -> bitpack
 //      decode -> dequantize -> Vtilde reconstruction -> feature fill ->
 //      classify_batch, reports/s across thread counts, with predictions
-//      checked bit-identical against the 1-thread run.
+//      checked bit-identical against the 1-thread run; plus the same
+//      end-to-end path per SIMD backend (scalar vs avx2 rotation + NN
+//      kernels) at 1 thread, with verdicts checked across backends.
 #include <cstdio>
 #include <cstdlib>
 #include <random>
@@ -27,6 +29,7 @@
 #include "feedback/angles.h"
 #include "feedback/bitpack.h"
 #include "linalg/svd.h"
+#include "nn/simd.h"
 #include "phy/channel.h"
 #include "phy/geometry.h"
 #include "phy/impairments.h"
@@ -243,12 +246,44 @@ bool run_ingest_throughput(bench::BenchReport& report) {
                       {{"threads", threads},
                        {"batch_size", static_cast<double>(batch)}});
   }
+  // Per-SIMD-backend end-to-end rate at 1 thread: how much of the ingest
+  // path (rotation-kernel decode + feature fill + NN forward) the avx2
+  // backend accelerates on one core.
+  common::set_num_threads(1);
+  std::printf("end-to-end ingest per SIMD backend (1 thread):\n");
+  const bool backend_verdicts_match = bench::sweep_simd_backends(
+      report, "ingest_backend_throughput",
+      {{"threads", 1.0}, {"batch_size", static_cast<double>(batch)}},
+      [&] {
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+          bench::Stopwatch timer;
+          common::parallel_for(
+              0, batch, common::grain_for(sc.size() * 16),
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const auto f =
+                      capture::BeamformingActionFrame::parse(*frames[i]);
+                  DEEPCSI_CHECK(f.has_value());
+                  reports[i] = feedback::unpack_report(
+                      f->report, f->mimo_control.nr, f->mimo_control.nc, sc,
+                      cfg);
+                }
+              });
+          auth.classify_batch(reports);
+          const double rate = static_cast<double>(batch) / timer.seconds();
+          if (rate > best) best = rate;
+        }
+        return best;
+      },
+      [&] { return auth.classify_batch(reports); });
+
   common::set_num_threads(original_threads);
   std::printf("predictions bit-identical across thread counts: %s\n\n",
               identical ? "yes" : "NO");
   report.add_metric("outputs_bit_identical", identical ? 1.0 : 0.0, "bool");
   std::fflush(stdout);
-  return identical;
+  return identical && backend_verdicts_match;
 }
 
 }  // namespace

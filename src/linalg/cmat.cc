@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/simd.h"
+
 namespace deepcsi::linalg {
+namespace {
+
+// The SIMD kernels (nn/simd.h) take interleaved re/im double rows —
+// exactly the guaranteed memory layout of std::complex<double>.
+inline double* flat(cplx* p) { return reinterpret_cast<double*>(p); }
+
+}  // namespace
 
 CMat CMat::identity(std::size_t n) { return eye(n, n); }
 
@@ -132,36 +141,34 @@ void CMat::set_eye(std::size_t rows, std::size_t cols) {
 void CMat::apply_givens_left(std::size_t a, std::size_t b, double psi) {
   DEEPCSI_CHECK(a < rows_ && b < rows_ && a != b);
   const double c = std::cos(psi), s = std::sin(psi);
-  cplx* ra = data_.data() + a * cols_;
-  cplx* rb = data_.data() + b * cols_;
-  for (std::size_t j = 0; j < cols_; ++j) {
-    const cplx va = ra[j], vb = rb[j];
-    ra[j] = c * va + s * vb;
-    rb[j] = -s * va + c * vb;
-  }
+  simd::ops().givens_left(flat(data_.data() + a * cols_),
+                          flat(data_.data() + b * cols_), cols_, c, s);
 }
 
 void CMat::apply_givens_right(std::size_t a, std::size_t b, double psi) {
   DEEPCSI_CHECK(a < cols_ && b < cols_ && a != b);
   const double c = std::cos(psi), s = std::sin(psi);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    cplx* row = data_.data() + r * cols_;
-    const cplx va = row[a], vb = row[b];
-    row[a] = c * va - s * vb;
-    row[b] = s * va + c * vb;
-  }
+  simd::ops().givens_right(flat(data_.data()), rows_, cols_, a, b, c, s);
 }
 
 void CMat::scale_rows_polar(std::size_t first, std::span<const double> phases) {
   DEEPCSI_CHECK(first + phases.size() <= rows_);
-  for (std::size_t t = 0; t < phases.size(); ++t)
-    scale_row(first + t, std::polar(1.0, phases[t]));
+  const simd::SimdOps& ops = simd::ops();
+  for (std::size_t t = 0; t < phases.size(); ++t) {
+    const cplx f = std::polar(1.0, phases[t]);
+    ops.scale_row_polar(flat(data_.data() + (first + t) * cols_), cols_,
+                        f.real(), f.imag());
+  }
 }
 
 void CMat::scale_cols_polar(std::size_t first, std::span<const double> phases) {
   DEEPCSI_CHECK(first + phases.size() <= cols_);
-  for (std::size_t t = 0; t < phases.size(); ++t)
-    scale_col(first + t, std::polar(1.0, phases[t]));
+  const simd::SimdOps& ops = simd::ops();
+  for (std::size_t t = 0; t < phases.size(); ++t) {
+    const cplx f = std::polar(1.0, phases[t]);
+    ops.scale_col_polar(flat(data_.data()), rows_, cols_, first + t, f.real(),
+                        f.imag());
+  }
 }
 
 double CMat::frobenius_norm() const {

@@ -3,18 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+#include "nn/simd.h"
+
 namespace deepcsi::nn {
 namespace {
 
-// Elementwise SELU, shared by both forward paths (identical op order =>
-// bitwise-identical outputs).
-void selu_apply(const float* __restrict x, float* __restrict y,
-                std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const float v = x[i];
-    y[i] = v > 0.0f ? kSeluLambda * v
-                    : kSeluLambda * kSeluAlpha * (std::exp(v) - 1.0f);
-  }
+// Elementwise SELU, shared by both forward paths. Dispatches to the
+// active SIMD backend and fans out over the thread pool like the GEMMs it
+// sits between: the backend kernel is a pure per-element function, so
+// chunk boundaries (and therefore DEEPCSI_THREADS) cannot change a single
+// output bit, and the result matches the fused conv->bias->SELU epilogue
+// exactly.
+void selu_apply(const float* x, float* y, std::size_t n) {
+  const simd::SimdOps& ops = simd::ops();
+  common::parallel_for(0, n, common::grain_for(4),
+                       [&](std::size_t lo, std::size_t hi) {
+                         ops.selu(x + lo, y + lo, hi - lo);
+                       });
 }
 
 }  // namespace

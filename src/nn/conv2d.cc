@@ -5,6 +5,7 @@
 #include "common/parallel.h"
 #include "nn/gemm.h"
 #include "nn/init.h"
+#include "nn/simd.h"
 
 namespace deepcsi::nn {
 namespace {
@@ -64,7 +65,13 @@ void Conv2d::im2col_into(const float* x, std::size_t n_batch, std::size_t hh,
           const TapSpan hs = tap_span(dh, hh), ws = tap_span(dw, ww);
           const float* __restrict x_plane = x + (n * in_channels_ + ci) * hw;
           float* __restrict col_row = cols + r * hw;
-          std::fill(col_row, col_row + hw, 0.0f);
+          // Zero only the padding border (rows outside the tap's valid
+          // h span, plus the short w margins) instead of pre-filling the
+          // whole row and overwriting its interior — for 'same' padding
+          // the border is a few columns wide, so this roughly halves
+          // im2col's store traffic. Identical output bytes.
+          std::fill(col_row, col_row + hs.lo * ww, 0.0f);
+          std::fill(col_row + hs.hi * ww, col_row + hw, 0.0f);
           for (std::size_t h = hs.lo; h < hs.hi; ++h) {
             const std::size_t h_in =
                 static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
@@ -72,6 +79,8 @@ void Conv2d::im2col_into(const float* x, std::size_t n_batch, std::size_t hh,
             // before the plane (w + dw >= 0 for w >= ws.lo).
             const float* __restrict src = x_plane + h_in * ww;
             float* __restrict dst = col_row + h * ww;
+            std::fill(dst, dst + ws.lo, 0.0f);
+            std::fill(dst + ws.hi, dst + ww, 0.0f);
             for (std::size_t w = ws.lo; w < ws.hi; ++w)
               dst[w] = src[static_cast<std::ptrdiff_t>(w) + dw];
           }
@@ -85,24 +94,22 @@ void Conv2d::im2col(const Tensor& x, std::vector<float>& cols) const {
   im2col_into(x.data(), n_batch, hh, ww, cols.data());
 }
 
-// out[n] = bias + W * cols[n].
+// out[n] = bias + W * cols[n]; optionally SELU-activated in the GEMM's
+// per-row epilogue (the fused serve path — the activation runs while each
+// output row is still hot in the chunk that produced it). The bias is
+// folded into the GEMM's row init — output row i of every sample starts
+// at bias[i] inside the chunk that accumulates it, the exact values and
+// order of the old prefill-then-accumulate form without the extra
+// whole-tensor write pass.
 void Conv2d::compute_forward(const float* cols, std::size_t n_batch,
-                             std::size_t hh, std::size_t ww,
-                             float* out) const {
+                             std::size_t hh, std::size_t ww, float* out,
+                             bool fuse_selu) const {
   const std::size_t hw = hh * ww;
   const std::size_t ckk = in_channels_ * kh_ * kw_;
-  const float* __restrict bs = bias_.value.data();
-  common::parallel_for(
-      0, n_batch * out_channels_, common::grain_for(hw),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t r = lo; r < hi; ++r) {
-          float* __restrict o_row = out + r * hw;
-          std::fill(o_row, o_row + hw, bs[r % out_channels_]);
-        }
-      });
   gemm_nn_batched(n_batch, out_channels_, hw, ckk, weight_.value.data(), cols,
                   ckk * hw, out, out_channels_ * hw,
-                  /*accumulate=*/true);
+                  /*accumulate=*/false, fuse_selu ? simd::ops().selu : nullptr,
+                  bias_.value.data());
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool training) {
@@ -146,7 +153,7 @@ void Conv2d::forward_into(const InferArgs& args) const {
                     ww = args.x.dim(3);
   float* cols = args.plan.scratch[0];
   im2col_into(args.x.data(), n, hh, ww, cols);
-  compute_forward(cols, n, hh, ww, args.y.data());
+  compute_forward(cols, n, hh, ww, args.y.data(), args.plan.fuse_selu);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {

@@ -47,8 +47,11 @@ class Conv2d final : public Layer {
   // the same routines, so serve output is bitwise identical).
   void im2col_into(const float* x, std::size_t n_batch, std::size_t hh,
                    std::size_t ww, float* cols) const;
+  // fuse_selu applies SELU as the GEMM's per-row epilogue (the fused
+  // conv->bias->SELU serve path planned by InferenceContext).
   void compute_forward(const float* cols, std::size_t n_batch, std::size_t hh,
-                       std::size_t ww, float* out) const;
+                       std::size_t ww, float* out,
+                       bool fuse_selu = false) const;
 
   Tensor cached_x_;
   // im2col of cached_x_, shared by both modes: backward's weight-gradient

@@ -4,20 +4,37 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "nn/simd.h"
 
 namespace deepcsi::nn {
 namespace {
 
 // Blocked micro-kernel layout. The k dimension is tiled so the active B
-// panel stays cache-resident while up to kRowBlock C rows stream over it,
-// and within a chunk the panel is packed once into per-thread scratch
+// panel stays cache-resident while the chunk's C rows stream over it, and
+// within a chunk the panel is packed once into per-thread scratch
 // (aligned, padded row stride) and reused by every row block of the same
-// sample. Each C element still accumulates one product per kk in strictly
-// ascending kk — tile boundaries and packing move data, never reassociate
-// the sum — so results stay bit-identical for any DEEPCSI_THREADS value
-// and any chunking, exactly as the PR 1 determinism contract requires.
+// sample. The inner register tiles come from the active SIMD backend
+// (nn/simd.h): each C element still accumulates one multiply-add per kk
+// in strictly ascending kk — tile boundaries, packing, and the backend's
+// row/column grouping move data, never reassociate the sum — so within a
+// backend results stay bit-identical for any DEEPCSI_THREADS value and
+// any chunking, exactly as the PR 1 determinism contract requires.
+// NOTE on the grain floor below (max(grain_for, 8 * kRowBlock) = 32
+// rows): the load-balancing heuristic alone shrinks chunks below
+// kRowBlock rows for large n*k (e.g. 3 rows at n*k ~ 9k), which silently
+// disables the register row tiles AND the B-packing — every row then
+// re-streams the whole B panel from L2. The floor must also amortize the
+// per-chunk B-pack copies: at 8 rows the pack is ~12% of the chunk's
+// multiply-adds and measurably drags the avx2 path, at 32 rows it is
+// ~3%. The cost is parallelism on tiny GEMMs (a single-sample m <= 32
+// conv runs its rows in one chunk) — batch serving, where rows =
+// batch * m, is the path this is tuned for. Chunk boundaries still
+// depend only on the problem shape, so the determinism contract is
+// untouched. kKTile = 64 keeps a packed tile at <= 16kB for n <= 64
+// (L1-resident alongside the C rows); 128 measures the same on the CI
+// container class but leaves less headroom.
 constexpr std::size_t kRowBlock = 4;
-constexpr std::size_t kKTile = 128;
+constexpr std::size_t kKTile = 64;
 
 // Padded packed-row stride: rows start at the same offset modulo a
 // 32-byte vector width, so consecutive rows never share a partial
@@ -42,57 +59,24 @@ inline const float* pack_b_tile(const float* __restrict b, std::size_t n,
   return pack.data();
 }
 
-// Four C rows over one B tile: the b_row load is shared by four
-// independent accumulator rows (4x the arithmetic per byte of B), and the
-// branch-free j loop autovectorizes. No zero-skip: the old `if (av ==
-// 0.0f) continue;` defeated vectorization and almost never fires on dense
-// activations.
-inline void rows4_tile(std::size_t n, std::size_t k0, std::size_t k1,
-                       const float* __restrict a0, const float* __restrict a1,
-                       const float* __restrict a2, const float* __restrict a3,
-                       std::size_t a_stride, const float* __restrict bt,
-                       std::size_t ldb, float* __restrict c0,
-                       float* __restrict c1, float* __restrict c2,
-                       float* __restrict c3) {
-  for (std::size_t kk = k0; kk < k1; ++kk) {
-    const std::size_t ak = kk * a_stride;
-    const float av0 = a0[ak], av1 = a1[ak], av2 = a2[ak], av3 = a3[ak];
-    const float* __restrict b_row = bt + (kk - k0) * ldb;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float bv = b_row[j];
-      c0[j] += av0 * bv;
-      c1[j] += av1 * bv;
-      c2[j] += av2 * bv;
-      c3[j] += av3 * bv;
-    }
-  }
-}
-
-// Single-row tail of the block loop, same per-element order.
-inline void rows1_tile(std::size_t n, std::size_t k0, std::size_t k1,
-                       const float* __restrict a0, std::size_t a_stride,
-                       const float* __restrict bt, std::size_t ldb,
-                       float* __restrict c0) {
-  for (std::size_t kk = k0; kk < k1; ++kk) {
-    const float av = a0[kk * a_stride];
-    const float* __restrict b_row = bt + (kk - k0) * ldb;
-    for (std::size_t j = 0; j < n; ++j) c0[j] += av * b_row[j];
-  }
-}
-
 // The rows [r_lo, r_hi) of one sample's C_s = op(A) * B_s, where
-// a_of(row) yields a pointer whose [kk * a_stride] element is
-// op(A)(row, kk). Covers both layouts: NN passes (a + row * k, stride 1),
-// TN passes (a + row, stride m).
-template <typename ARow>
-inline void sample_rows_blocked(std::size_t n, std::size_t k, ARow a_of,
-                                std::size_t a_stride,
+// op(A)(row, kk) = a[row * a_row_step + kk * a_k_stride]. Covers both
+// layouts: NN passes (row_step = k, k_stride = 1), TN passes
+// (row_step = 1, k_stride = m). When `epilogue` is set it runs once over
+// each finished row — the rows are still chunk-hot, so a fused activation
+// never re-traverses the output from cold memory.
+inline void sample_rows_blocked(const simd::SimdOps& ops, std::size_t n,
+                                std::size_t k, const float* a_base,
+                                std::size_t a_row_step, std::size_t a_k_stride,
                                 const float* __restrict b_s,
                                 float* __restrict c_s, std::size_t r_lo,
-                                std::size_t r_hi, bool accumulate) {
+                                std::size_t r_hi, bool accumulate,
+                                RowEpilogue epilogue,
+                                const float* __restrict row_init) {
   if (!accumulate)
     for (std::size_t r = r_lo; r < r_hi; ++r)
-      std::fill(c_s + r * n, c_s + r * n + n, 0.0f);
+      std::fill(c_s + r * n, c_s + r * n + n,
+                row_init != nullptr ? row_init[r] : 0.0f);
   const bool do_pack = r_hi - r_lo > kRowBlock;
   std::vector<float>& pack = pack_scratch();
   for (std::size_t k0 = 0; k0 < k; k0 += kKTile) {
@@ -106,32 +90,12 @@ inline void sample_rows_blocked(std::size_t n, std::size_t k, ARow a_of,
       bt = b_s + k0 * n;
       ldb = n;
     }
-    std::size_t r = r_lo;
-    for (; r + kRowBlock <= r_hi; r += kRowBlock)
-      rows4_tile(n, k0, k1, a_of(r), a_of(r + 1), a_of(r + 2), a_of(r + 3),
-                 a_stride, bt, ldb, c_s + r * n, c_s + (r + 1) * n,
-                 c_s + (r + 2) * n, c_s + (r + 3) * n);
-    for (; r < r_hi; ++r)
-      rows1_tile(n, k0, k1, a_of(r), a_stride, bt, ldb, c_s + r * n);
+    ops.gemm_tile(r_hi - r_lo, n, k0, k1, a_base + r_lo * a_row_step,
+                  a_row_step, a_k_stride, bt, ldb, c_s + r_lo * n, n);
   }
-}
-
-// Dot product with fixed 4-lane partial sums: breaks the FP add
-// dependency chain without making the accumulation order data- or
-// thread-dependent.
-inline float dot4(const float* __restrict a, const float* __restrict b,
-                  std::size_t k) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  std::size_t kk = 0;
-  for (; kk + 4 <= k; kk += 4) {
-    acc0 += a[kk] * b[kk];
-    acc1 += a[kk + 1] * b[kk + 1];
-    acc2 += a[kk + 2] * b[kk + 2];
-    acc3 += a[kk + 3] * b[kk + 3];
-  }
-  float acc = (acc0 + acc1) + (acc2 + acc3);
-  for (; kk < k; ++kk) acc += a[kk] * b[kk];
-  return acc;
+  if (epilogue != nullptr)
+    for (std::size_t r = r_lo; r < r_hi; ++r)
+      epilogue(c_s + r * n, c_s + r * n, n);
 }
 
 }  // namespace
@@ -139,17 +103,19 @@ inline float dot4(const float* __restrict a, const float* __restrict b,
 void gemm_nn_batched(std::size_t batch, std::size_t m, std::size_t n,
                      std::size_t k, const float* a, const float* b,
                      std::size_t b_stride, float* c, std::size_t c_stride,
-                     bool accumulate) {
+                     bool accumulate, RowEpilogue epilogue,
+                     const float* row_init) {
+  const simd::SimdOps& ops = simd::ops();
   const std::size_t rows = batch * m;
-  const std::size_t grain = common::grain_for(n * k);
+  const std::size_t grain = std::max(common::grain_for(n * k), 8 * kRowBlock);
   common::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
     std::size_t r = lo;
     while (r < hi) {
       const std::size_t s = r / m, i0 = r % m;
       const std::size_t nrows = std::min(hi - r, m - i0);
-      sample_rows_blocked(
-          n, k, [&](std::size_t row) { return a + row * k; }, 1,
-          b + s * b_stride, c + s * c_stride, i0, i0 + nrows, accumulate);
+      sample_rows_blocked(ops, n, k, a, k, 1, b + s * b_stride,
+                          c + s * c_stride, i0, i0 + nrows, accumulate,
+                          epilogue, row_init);
       r += nrows;
     }
   });
@@ -159,16 +125,17 @@ void gemm_tn_batched(std::size_t batch, std::size_t m, std::size_t n,
                      std::size_t k, const float* a, const float* b,
                      std::size_t b_stride, float* c, std::size_t c_stride,
                      bool accumulate) {
+  const simd::SimdOps& ops = simd::ops();
   const std::size_t rows = batch * m;
-  const std::size_t grain = common::grain_for(n * k);
+  const std::size_t grain = std::max(common::grain_for(n * k), 8 * kRowBlock);
   common::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
     std::size_t r = lo;
     while (r < hi) {
       const std::size_t s = r / m, i0 = r % m;
       const std::size_t nrows = std::min(hi - r, m - i0);
-      sample_rows_blocked(
-          n, k, [&](std::size_t row) { return a + row; }, m, b + s * b_stride,
-          c + s * c_stride, i0, i0 + nrows, accumulate);
+      sample_rows_blocked(ops, n, k, a, 1, m, b + s * b_stride,
+                          c + s * c_stride, i0, i0 + nrows, accumulate,
+                          nullptr, nullptr);
       r += nrows;
     }
   });
@@ -176,13 +143,14 @@ void gemm_tn_batched(std::size_t batch, std::size_t m, std::size_t n,
 
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
+  const simd::SimdOps& ops = simd::ops();
   const std::size_t grain = common::grain_for(n * k);
   common::parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const float* __restrict a_row = a + i * k;
       float* __restrict c_row = c + i * n;
       for (std::size_t j = 0; j < n; ++j) {
-        const float acc = dot4(a_row, b + j * k, k);
+        const float acc = ops.dot(a_row, b + j * k, k);
         c_row[j] = accumulate ? c_row[j] + acc : acc;
       }
     }
@@ -193,6 +161,7 @@ void gemm_nt_batch_reduce(std::size_t batch, std::size_t m, std::size_t n,
                           std::size_t k, const float* a, std::size_t a_stride,
                           const float* b, std::size_t b_stride, float* c,
                           bool accumulate) {
+  const simd::SimdOps& ops = simd::ops();
   common::parallel_for(
       0, m * n, common::grain_for(batch * k),
       [&](std::size_t lo, std::size_t hi) {
@@ -200,7 +169,8 @@ void gemm_nt_batch_reduce(std::size_t batch, std::size_t m, std::size_t n,
           const std::size_t i = e / n, j = e % n;
           float cur = accumulate ? c[e] : 0.0f;
           for (std::size_t s = 0; s < batch; ++s)
-            cur += dot4(a + s * a_stride + i * k, b + s * b_stride + j * k, k);
+            cur += ops.dot(a + s * a_stride + i * k, b + s * b_stride + j * k,
+                           k);
           c[e] = cur;
         }
       });

@@ -3,30 +3,48 @@
 // All matrices are contiguous row-major. Every variant parallelizes over
 // rows of C through common::parallel_for; each output row is computed
 // wholly inside one chunk with a fixed ascending-k accumulation order, so
-// results are bit-identical for any thread count or chunking. The
-// batched variants share one A across the batch (the weight matrix) and
-// fold the batch axis into the parallel index space, which is what gives
-// single-sample inference (batch = 1, rows = M) and mini-batch training
-// (rows = batch * M) the same kernel and the same full parallelism.
+// within a SIMD backend results are bit-identical for any thread count or
+// chunking. The batched variants share one A across the batch (the
+// weight matrix) and fold the batch axis into the parallel index space,
+// which is what gives single-sample inference (batch = 1, rows = M) and
+// mini-batch training (rows = batch * M) the same kernel and the same
+// full parallelism.
 //
-// The NN/TN variants run a register-blocked micro-kernel: 4 C rows per
-// block share each streamed B row (4x arithmetic intensity), the k axis
-// is tiled, and the active B tile is packed once per chunk into aligned
-// per-thread scratch and reused across the chunk's row blocks. Blocking,
-// tiling and packing only move data — every C element still accumulates
-// exactly one product per k index, in ascending k — so the determinism
-// contract above survives the optimization untouched.
+// The NN/TN variants run a register-blocked micro-kernel: a block of C
+// rows shares each streamed B row (multiplying arithmetic intensity), the
+// k axis is tiled, and the active B tile is packed once per chunk into
+// aligned per-thread scratch and reused across the chunk's row blocks.
+// The inner register tiles are supplied by the runtime-dispatched SIMD
+// backend (nn/simd.h: 8-wide AVX2 FMA tiles, or the scalar loops).
+// Blocking, tiling and packing only move data — every C element still
+// accumulates exactly one multiply-add per k index, in ascending k — so
+// the per-backend determinism contract survives the optimization
+// untouched.
 #pragma once
 
 #include <cstddef>
 
 namespace deepcsi::nn {
 
+// Optional fused epilogue for the NN variant: runs once over every
+// finished C row (x = y = the row, n elements) while it is still hot in
+// the producing chunk's cache. Must be elementwise and in-place-safe —
+// nn/simd.h's selu kernel is the canonical instance.
+using RowEpilogue = void (*)(const float* x, float* y, std::size_t n);
+
 // C_s[M,N] (+)= A[M,K] * B_s[K,N] for s in [0, batch).
+//
+// When not accumulating, each output row starts at row_init[i] (its
+// within-sample row index; nullptr = 0.0f) — the conv bias fold: the row
+// is seeded inside the producing chunk instead of by a separate
+// whole-tensor prefill pass, saving one full C traversal while keeping
+// the exact bias-then-ascending-k accumulation order. Ignored when
+// accumulate is true.
 void gemm_nn_batched(std::size_t batch, std::size_t m, std::size_t n,
                      std::size_t k, const float* a, const float* b,
                      std::size_t b_stride, float* c, std::size_t c_stride,
-                     bool accumulate);
+                     bool accumulate, RowEpilogue epilogue = nullptr,
+                     const float* row_init = nullptr);
 
 // C_s[M,N] (+)= A[K,M]^T * B_s[K,N] for s in [0, batch).
 void gemm_tn_batched(std::size_t batch, std::size_t m, std::size_t n,

@@ -63,6 +63,21 @@ InferenceContext::InferenceContext(const SharedModel& model,
     steps_.push_back(std::move(plan));
   }
 
+  // Fuse conv -> selu pairs: the conv applies SELU as its GEMM row
+  // epilogue (cache-hot, one arena traversal) and the Selu step is
+  // skipped. The SELU kernel is a position-independent elementwise
+  // function, so the fused activations are bitwise identical to the
+  // two-step path — run() output still matches the stateful
+  // Sequential::forward exactly.
+  fused_away_.assign(n_layers, 0);
+  for (std::size_t i = 0; i + 1 < n_layers; ++i) {
+    if (graph_->layer(i).name() == "conv2d" &&
+        graph_->layer(i + 1).name() == "selu") {
+      steps_[i].fuse_selu = true;
+      fused_away_[i + 1] = 1;
+    }
+  }
+
   // Arena layout: [input | act A | act B | per-layer scratch...].
   const std::size_t input_floats = aligned(in_shape_.numel());
   const std::size_t act_floats = aligned(max_activation);
@@ -79,11 +94,14 @@ InferenceContext::InferenceContext(const SharedModel& model,
 tensor::ConstTensorView InferenceContext::run(std::size_t n) {
   DEEPCSI_CHECK(n >= 1 && n <= max_batch_);
   tensor::ConstTensorView x(input_, in_shape_.with_dim0(n));
+  std::size_t slot = 0;
   for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (fused_away_[i]) continue;  // selu applied by the previous conv
     const InferencePlan& plan = steps_[i];
-    tensor::TensorView y(act_[i & 1], plan.out_shape.with_dim0(n));
+    tensor::TensorView y(act_[slot], plan.out_shape.with_dim0(n));
     graph_->layer(i).forward_into({x, y, plan});
     x = tensor::ConstTensorView(y.data(), y.shape());
+    slot ^= 1;
   }
   return x;
 }

@@ -87,6 +87,9 @@ class InferenceContext {
   std::size_t max_batch_;
   tensor::StaticShape in_shape_;  // [max_batch, sample...]
   std::vector<InferencePlan> steps_;
+  // Steps absorbed into their predecessor (a Selu fused into the
+  // preceding Conv2d's GEMM epilogue); run() skips them.
+  std::vector<unsigned char> fused_away_;
   std::vector<float> arena_;
   float* input_ = nullptr;
   float* act_[2] = {nullptr, nullptr};  // ping-pong activation slices

@@ -47,6 +47,14 @@ struct InferencePlan {
   // the context carves them from the arena and resolves the pointers.
   std::vector<std::size_t> scratch_numel;
   std::vector<float*> scratch;
+  // Set by InferenceContext when this layer is a Conv2d immediately
+  // followed by a Selu: the conv applies the activation as a fused
+  // row epilogue inside its GEMM chunks (the rows are still cache-hot)
+  // and the context skips the Selu step, so the activation never
+  // re-traverses the arena. The SELU kernel is elementwise and
+  // position-independent, so fused output is bitwise identical to the
+  // unfused two-step path.
+  bool fuse_selu = false;
   // Plans for nested layers (e.g. the conv inside SpatialAttention),
   // planned recursively and resolved like any other slice.
   std::vector<InferencePlan> children;

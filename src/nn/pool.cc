@@ -1,5 +1,8 @@
 #include "nn/pool.h"
 
+#include "common/parallel.h"
+#include "nn/simd.h"
+
 namespace deepcsi::nn {
 
 void MaxPool2d::compute_forward(const float* x, std::size_t n_batch,
@@ -57,8 +60,28 @@ void MaxPool2d::plan_inference(InferencePlan& plan) const {
 }
 
 void MaxPool2d::forward_into(const InferArgs& args) const {
-  compute_forward(args.x.data(), args.x.dim(0), args.x.dim(1), args.x.dim(2),
-                  args.x.dim(3), args.y.data(), /*argmax=*/nullptr);
+  const std::size_t n_batch = args.x.dim(0), ch = args.x.dim(1),
+                    hh = args.x.dim(2), ww = args.x.dim(3);
+  // Serving fast path for the (1, 2) window the DeepCSI stack uses:
+  // SIMD-dispatched pairwise max, fanned out over the pool. Rows are
+  // independent and the kernel's comparison semantics match the generic
+  // loop exactly, so output values are identical (see nn/simd.h) and
+  // bit-identical across DEEPCSI_THREADS.
+  if (kh_ == 1 && kw_ == 2) {
+    const std::size_t ow = ww / 2;
+    const std::size_t rows = n_batch * ch * hh;
+    const simd::SimdOps& ops = simd::ops();
+    const float* x = args.x.data();
+    float* y = args.y.data();
+    common::parallel_for(0, rows, common::grain_for(ww),
+                         [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t r = lo; r < hi; ++r)
+                             ops.max_pool_1x2(x + r * ww, y + r * ow, ow);
+                         });
+    return;
+  }
+  compute_forward(args.x.data(), n_batch, ch, hh, ww, args.y.data(),
+                  /*argmax=*/nullptr);
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {

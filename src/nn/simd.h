@@ -1,0 +1,141 @@
+// Runtime-dispatched SIMD kernel backend for every scalar hot loop in the
+// pipeline: the GEMM micro-kernel tiles (nn/gemm.cc), the SELU activation
+// (nn/activations.cc), and the complex-double rotation kernels behind the
+// feedback codec (linalg/cmat.cc).
+//
+// Two backends exist:
+//
+//   * kScalar — the pre-SIMD C++ loops, bit-for-bit identical to the code
+//     they were lifted from. Always available.
+//   * kAvx2   — 8-wide FMA register tiles (float) and 2-complex-wide
+//     __m256d kernels (double), compiled into ONE translation unit
+//     (nn/simd_avx2.cc) with -mavx2 -mfma so the rest of the binary keeps
+//     the baseline ISA and still runs on non-AVX2 hosts. Present only
+//     when CMake's DEEPCSI_ENABLE_AVX2 is ON and the target is x86.
+//
+// Selection happens once, at first use: the DEEPCSI_SIMD environment
+// variable ("avx2" or "scalar") overrides; otherwise CPUID picks avx2
+// when the host supports AVX2+FMA and the backend was compiled in. An
+// unknown DEEPCSI_SIMD value, or an explicit avx2 request the host cannot
+// honor, is a usage error: the process exits with code 2 instead of
+// silently falling back (a silently-wrong backend would invalidate every
+// benchmark row that claims to measure it). Tests and benches switch
+// backends at runtime with set_active().
+//
+// Determinism contract (mirrors the parallel_for contract in
+// common/parallel.h): WITHIN a backend every kernel accumulates each
+// output element in a fixed order that depends only on the problem shape
+// — never on thread count, chunk boundaries, row-block grouping, or batch
+// packing — so whole-pipeline outputs are bit-identical across
+// DEEPCSI_THREADS, batch chunking, and consumer counts. ACROSS backends
+// results differ by FMA/vector-polynomial rounding; classify verdicts
+// must still agree, and activations agree within the tolerances pinned by
+// tests/simd_kernel_test.cc.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deepcsi::simd {
+
+enum class Backend { kScalar = 0, kAvx2 = 1 };
+
+// The kernel table one backend exports. All pointers are non-null.
+struct SimdOps {
+  Backend id;
+
+  // One k-tile of a GEMM row block:
+  //   C[r][j] += sum_{kk=k0}^{k1-1} A(r, kk) * B[kk - k0][j]
+  // for r in [0, nrows), j in [0, n), where A(r, kk) =
+  // a[r * a_row_step + kk * a_k_stride] (covers both the NN layout,
+  // row_step = K / k_stride = 1, and the TN layout, row_step = 1 /
+  // k_stride = M), B tile row kk at bt + (kk - k0) * ldb, and C row r at
+  // c + r * ldc. Every element must accumulate exactly one (fused or
+  // separate) multiply-add per kk, in ascending kk, with a per-element
+  // instruction sequence that depends only on (n, k0, k1) — that is what
+  // keeps results independent of how callers group rows into tiles.
+  void (*gemm_tile)(std::size_t nrows, std::size_t n, std::size_t k0,
+                    std::size_t k1, const float* a, std::size_t a_row_step,
+                    std::size_t a_k_stride, const float* bt, std::size_t ldb,
+                    float* c, std::size_t ldc);
+
+  // Dot product over k with a fixed lane-reduction order (reassociates
+  // relative to a naive loop, but deterministically for a given k).
+  float (*dot)(const float* a, const float* b, std::size_t k);
+
+  // Elementwise SELU, y[i] = selu(x[i]); in-place (y == x) is allowed.
+  // Pure per-element function of the input value — lane position, vector
+  // width and masked tails must not change any element's result, so the
+  // fused conv epilogue, the standalone layer, and any parallel_for
+  // chunking all produce bitwise-equal activations.
+  void (*selu)(const float* x, float* y, std::size_t n);
+
+  // Width-only stride-2 max pool over one row: out[j] =
+  // max(x[2j], x[2j+1]) for j in [0, ow), with the exact comparison
+  // semantics of the generic pool loop (strictly-greater against a
+  // -3.4e38f floor), so scalar results are bit-identical to the
+  // pre-dispatch code and the avx2 form agrees on every finite input
+  // short of a (-0.0, +0.0) tie — unreachable here, pools only ever see
+  // SELU outputs, which never produce -0.0. The (1, 2) window is the
+  // only pool geometry in the DeepCSI column stack; other geometries
+  // keep the generic loop.
+  void (*max_pool_1x2)(const float* x, float* out, std::size_t ow);
+
+  // Complex-double rotation kernels for the feedback codec. Rows are
+  // interleaved re/im storage (std::complex<double> layout), `cols`
+  // complex elements long.
+  //
+  // Plane rotation from the left: ra' = c*ra + s*rb, rb' = -s*ra + c*rb.
+  void (*givens_left)(double* ra, double* rb, std::size_t cols, double c,
+                      double s);
+  // Plane rotation from the right on a rows x cols matrix at `data`
+  // (row-major complex): col_a' = c*col_a - s*col_b,
+  // col_b' = s*col_a + c*col_b.
+  void (*givens_right)(double* data, std::size_t rows, std::size_t cols,
+                       std::size_t a, std::size_t b, double c, double s);
+  // row[j] *= (fre + i*fim) for j in [0, cols).
+  void (*scale_row_polar)(double* row, std::size_t cols, double fre,
+                          double fim);
+  // data(r, col) *= (fre + i*fim) for r in [0, rows).
+  void (*scale_col_polar)(double* data, std::size_t rows, std::size_t cols,
+                          std::size_t col, double fre, double fim);
+};
+
+// True when the running CPU reports AVX2 and FMA.
+bool cpu_supports_avx2();
+
+// True when the avx2 backend was compiled into this binary
+// (DEEPCSI_ENABLE_AVX2 on an x86 target).
+bool compiled_with_avx2();
+
+// Parses a DEEPCSI_SIMD override. nullptr or "" selects the default
+// (avx2 when compiled in and the CPU supports it, else scalar). "scalar"
+// and "avx2" select explicitly. Anything else — including "avx2" when
+// the backend is compiled out or the CPU lacks the ISA — prints a usage
+// message and exits with code 2. Exposed so the death tests can exercise
+// the error paths directly.
+Backend resolve_backend(const char* env_value);
+
+// The active backend. First call resolves DEEPCSI_SIMD (see above).
+Backend active();
+
+// Switch backends at runtime (tests and benches). Returns false — and
+// leaves the active backend unchanged — when the requested backend is
+// unavailable on this host/build. Not safe to call while kernels are
+// running on other threads; callers quiesce first, exactly like
+// common::set_num_threads.
+bool set_active(Backend b);
+
+// Human-readable backend name ("scalar" / "avx2").
+const char* name(Backend b);
+
+// Every backend this host can actually run: scalar always, avx2 when it
+// was compiled in and the CPU reports the ISA. Benches and tests loop
+// over this so their coverage tracks the build/host automatically.
+std::vector<Backend> available_backends();
+
+// The active backend's kernel table. Callers that dispatch many times in
+// a loop should hoist the reference out of the loop.
+const SimdOps& ops();
+
+}  // namespace deepcsi::simd

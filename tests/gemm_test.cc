@@ -1,21 +1,40 @@
-// The register-blocked GEMM micro-kernels against a naive
-// ascending-k reference, bitwise: blocking, k-tiling and B-packing must
-// move data without ever reassociating a sum, and the result must not
-// depend on DEEPCSI_THREADS. Shapes deliberately include row counts that
-// are not multiples of the 4-row block and odd n / k.
+// The register-blocked GEMM micro-kernels against a naive ascending-k
+// reference, under every available SIMD backend. The scalar backend must
+// match the reference bitwise (blocking, k-tiling and B-packing move
+// data without ever reassociating a sum); the avx2 backend reassociates
+// only through FMA rounding, so it gets a tolerance against the
+// reference — but must still be bitwise self-identical across
+// DEEPCSI_THREADS (the per-backend determinism contract). Shapes
+// deliberately include row counts that are not multiples of the row
+// block and odd n / k.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 #include <vector>
 
 #include "common/parallel.h"
 #include "nn/gemm.h"
+#include "nn/simd.h"
 #include "test_util.h"
 
 namespace deepcsi::nn {
 namespace {
 
+using tests::available_backends;
+using tests::BackendGuard;
 using tests::ThreadGuard;
+
+// Bitwise for scalar; FMA-rounding tolerance for avx2.
+void expect_matches_reference(simd::Backend backend, float got, float want,
+                              const char* what, std::size_t elem) {
+  if (backend == simd::Backend::kScalar) {
+    ASSERT_EQ(got, want) << what << " backend=scalar elem=" << elem;
+  } else {
+    ASSERT_NEAR(got, want, 5e-4 * (1.0 + std::abs(want)))
+        << what << " backend=" << simd::name(backend) << " elem=" << elem;
+  }
+}
 
 std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
@@ -64,55 +83,77 @@ struct Shape {
 };
 
 // Sizes straddle every kernel edge: m % 4 != 0 tails, n past the packed
-// stride padding, k beyond one 128-row tile, batch folding.
+// stride padding, k beyond one kKTile-deep (64) tile, batch folding.
 const Shape kShapes[] = {
     {1, 1, 1, 1},   {1, 3, 5, 7},    {1, 4, 8, 16},   {2, 5, 9, 3},
     {3, 7, 33, 129}, {1, 16, 234, 45}, {4, 6, 17, 200}, {2, 13, 31, 257},
 };
 
-TEST(GemmBlockedTest, NnMatchesNaiveBitwiseAcrossThreadCounts) {
+TEST(GemmBlockedTest, NnMatchesNaiveAndIsBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  for (const Shape& sh : kShapes) {
-    const auto a = random_vec(sh.m * sh.k, 11 + sh.k);
-    const auto b = random_vec(sh.batch * sh.k * sh.n, 13 + sh.n);
-    for (const bool accumulate : {false, true}) {
-      auto expected = random_vec(sh.batch * sh.m * sh.n, 17);
-      naive_nn(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(), sh.k * sh.n,
-               expected.data(), sh.m * sh.n, accumulate);
-      for (const int threads : {1, 4}) {
-        common::set_num_threads(threads);
-        auto c = random_vec(sh.batch * sh.m * sh.n, 17);  // same garbage
-        gemm_nn_batched(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(),
-                        sh.k * sh.n, c.data(), sh.m * sh.n, accumulate);
-        for (std::size_t e = 0; e < c.size(); ++e)
-          ASSERT_EQ(c[e], expected[e])
-              << "batch=" << sh.batch << " m=" << sh.m << " n=" << sh.n
-              << " k=" << sh.k << " acc=" << accumulate
-              << " threads=" << threads << " elem=" << e;
+  BackendGuard backend_guard;
+  for (const simd::Backend backend : available_backends()) {
+    ASSERT_TRUE(simd::set_active(backend));
+    for (const Shape& sh : kShapes) {
+      const auto a = random_vec(sh.m * sh.k, 11 + sh.k);
+      const auto b = random_vec(sh.batch * sh.k * sh.n, 13 + sh.n);
+      for (const bool accumulate : {false, true}) {
+        auto expected = random_vec(sh.batch * sh.m * sh.n, 17);
+        naive_nn(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(), sh.k * sh.n,
+                 expected.data(), sh.m * sh.n, accumulate);
+        std::vector<float> one_thread;
+        for (const int threads : {1, 4}) {
+          common::set_num_threads(threads);
+          auto c = random_vec(sh.batch * sh.m * sh.n, 17);  // same garbage
+          gemm_nn_batched(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(),
+                          sh.k * sh.n, c.data(), sh.m * sh.n, accumulate);
+          for (std::size_t e = 0; e < c.size(); ++e)
+            expect_matches_reference(backend, c[e], expected[e], "nn", e);
+          if (threads == 1) {
+            one_thread = c;
+          } else {
+            for (std::size_t e = 0; e < c.size(); ++e)
+              ASSERT_EQ(c[e], one_thread[e])
+                  << "nn thread-count bit-identity backend="
+                  << simd::name(backend) << " m=" << sh.m << " n=" << sh.n
+                  << " k=" << sh.k << " elem=" << e;
+          }
+        }
       }
     }
   }
 }
 
-TEST(GemmBlockedTest, TnMatchesNaiveBitwiseAcrossThreadCounts) {
+TEST(GemmBlockedTest, TnMatchesNaiveAndIsBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  for (const Shape& sh : kShapes) {
-    const auto a = random_vec(sh.k * sh.m, 19 + sh.k);
-    const auto b = random_vec(sh.batch * sh.k * sh.n, 23 + sh.n);
-    for (const bool accumulate : {false, true}) {
-      auto expected = random_vec(sh.batch * sh.m * sh.n, 29);
-      naive_tn(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(), sh.k * sh.n,
-               expected.data(), sh.m * sh.n, accumulate);
-      for (const int threads : {1, 4}) {
-        common::set_num_threads(threads);
-        auto c = random_vec(sh.batch * sh.m * sh.n, 29);
-        gemm_tn_batched(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(),
-                        sh.k * sh.n, c.data(), sh.m * sh.n, accumulate);
-        for (std::size_t e = 0; e < c.size(); ++e)
-          ASSERT_EQ(c[e], expected[e])
-              << "batch=" << sh.batch << " m=" << sh.m << " n=" << sh.n
-              << " k=" << sh.k << " acc=" << accumulate
-              << " threads=" << threads << " elem=" << e;
+  BackendGuard backend_guard;
+  for (const simd::Backend backend : available_backends()) {
+    ASSERT_TRUE(simd::set_active(backend));
+    for (const Shape& sh : kShapes) {
+      const auto a = random_vec(sh.k * sh.m, 19 + sh.k);
+      const auto b = random_vec(sh.batch * sh.k * sh.n, 23 + sh.n);
+      for (const bool accumulate : {false, true}) {
+        auto expected = random_vec(sh.batch * sh.m * sh.n, 29);
+        naive_tn(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(), sh.k * sh.n,
+                 expected.data(), sh.m * sh.n, accumulate);
+        std::vector<float> one_thread;
+        for (const int threads : {1, 4}) {
+          common::set_num_threads(threads);
+          auto c = random_vec(sh.batch * sh.m * sh.n, 29);
+          gemm_tn_batched(sh.batch, sh.m, sh.n, sh.k, a.data(), b.data(),
+                          sh.k * sh.n, c.data(), sh.m * sh.n, accumulate);
+          for (std::size_t e = 0; e < c.size(); ++e)
+            expect_matches_reference(backend, c[e], expected[e], "tn", e);
+          if (threads == 1) {
+            one_thread = c;
+          } else {
+            for (std::size_t e = 0; e < c.size(); ++e)
+              ASSERT_EQ(c[e], one_thread[e])
+                  << "tn thread-count bit-identity backend="
+                  << simd::name(backend) << " m=" << sh.m << " n=" << sh.n
+                  << " k=" << sh.k << " elem=" << e;
+          }
+        }
       }
     }
   }
@@ -120,48 +161,88 @@ TEST(GemmBlockedTest, TnMatchesNaiveBitwiseAcrossThreadCounts) {
 
 TEST(GemmBlockedTest, ExactZerosInAContributeLikeAnyOtherValue) {
   // The old kernels skipped a_ik == 0 entirely; the blocked kernels must
-  // not, and the naive reference (which never skips) pins the semantics.
+  // not, and the naive reference (which never skips) pins the semantics
+  // under every backend.
   ThreadGuard guard;
+  BackendGuard backend_guard;
   common::set_num_threads(1);
   const std::size_t m = 6, n = 9, k = 140;
   auto a = random_vec(m * k, 31);
   for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
   const auto b = random_vec(k * n, 37);
-  std::vector<float> expected(m * n), c(m * n);
+  std::vector<float> expected(m * n);
   naive_nn(1, m, n, k, a.data(), b.data(), 0, expected.data(), 0, false);
-  gemm_nn_batched(1, m, n, k, a.data(), b.data(), 0, c.data(), 0, false);
-  for (std::size_t e = 0; e < c.size(); ++e) ASSERT_EQ(c[e], expected[e]);
+  for (const simd::Backend backend : available_backends()) {
+    ASSERT_TRUE(simd::set_active(backend));
+    std::vector<float> c(m * n);
+    gemm_nn_batched(1, m, n, k, a.data(), b.data(), 0, c.data(), 0, false);
+    for (std::size_t e = 0; e < c.size(); ++e)
+      expect_matches_reference(backend, c[e], expected[e], "zeros", e);
+  }
+}
+
+TEST(GemmBlockedTest, FusedRowEpilogueMatchesSeparateApplication) {
+  // gemm + epilogue(selu) must equal gemm then selu over the output —
+  // the contract the fused conv->bias->SELU serve path stands on — under
+  // every backend and thread count.
+  ThreadGuard guard;
+  BackendGuard backend_guard;
+  const std::size_t batch = 2, m = 6, n = 29, k = 70;
+  const auto a = random_vec(m * k, 61);
+  const auto b = random_vec(batch * k * n, 67);
+  for (const simd::Backend backend : available_backends()) {
+    ASSERT_TRUE(simd::set_active(backend));
+    const simd::SimdOps& ops = simd::ops();
+    for (const int threads : {1, 4}) {
+      common::set_num_threads(threads);
+      std::vector<float> unfused(batch * m * n, 0.25f);
+      gemm_nn_batched(batch, m, n, k, a.data(), b.data(), k * n,
+                      unfused.data(), m * n, /*accumulate=*/true);
+      ops.selu(unfused.data(), unfused.data(), unfused.size());
+      std::vector<float> fused(batch * m * n, 0.25f);
+      gemm_nn_batched(batch, m, n, k, a.data(), b.data(), k * n, fused.data(),
+                      m * n, /*accumulate=*/true, ops.selu);
+      for (std::size_t e = 0; e < fused.size(); ++e)
+        ASSERT_EQ(fused[e], unfused[e])
+            << simd::name(backend) << " threads=" << threads << " elem=" << e;
+    }
+  }
 }
 
 TEST(GemmBlockedTest, NtVariantsStayConsistentWithNaive) {
-  // gemm_nt / gemm_nt_batch_reduce use 4-lane dot products (they do
-  // reassociate), so they get a tolerance, not bitwise equality.
+  // gemm_nt / gemm_nt_batch_reduce use fixed-lane dot products (they do
+  // reassociate), so they get a tolerance, not bitwise equality — under
+  // every backend.
   ThreadGuard guard;
+  BackendGuard backend_guard;
   common::set_num_threads(4);
   const std::size_t batch = 3, m = 5, n = 7, k = 61;
   const auto a = random_vec(batch * m * k, 41);
   const auto b = random_vec(batch * n * k, 43);
-  std::vector<float> c(m * n, 0.0f);
-  gemm_nt(m, n, k, a.data(), b.data(), c.data(), false);
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) {
-      double ref = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk)
-        ref += static_cast<double>(a[i * k + kk]) * b[j * k + kk];
-      EXPECT_NEAR(c[i * n + j], ref, 1e-4);
-    }
-  std::vector<float> cr(m * n, 0.0f);
-  gemm_nt_batch_reduce(batch, m, n, k, a.data(), m * k, b.data(), n * k,
-                       cr.data(), false);
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) {
-      double ref = 0.0;
-      for (std::size_t s = 0; s < batch; ++s)
+  for (const simd::Backend backend : available_backends()) {
+    ASSERT_TRUE(simd::set_active(backend));
+    std::vector<float> c(m * n, 0.0f);
+    gemm_nt(m, n, k, a.data(), b.data(), c.data(), false);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double ref = 0.0;
         for (std::size_t kk = 0; kk < k; ++kk)
-          ref += static_cast<double>(a[s * m * k + i * k + kk]) *
-                 b[s * n * k + j * k + kk];
-      EXPECT_NEAR(cr[i * n + j], ref, 1e-3);
-    }
+          ref += static_cast<double>(a[i * k + kk]) * b[j * k + kk];
+        EXPECT_NEAR(c[i * n + j], ref, 1e-4) << simd::name(backend);
+      }
+    std::vector<float> cr(m * n, 0.0f);
+    gemm_nt_batch_reduce(batch, m, n, k, a.data(), m * k, b.data(), n * k,
+                         cr.data(), false);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double ref = 0.0;
+        for (std::size_t s = 0; s < batch; ++s)
+          for (std::size_t kk = 0; kk < k; ++kk)
+            ref += static_cast<double>(a[s * m * k + i * k + kk]) *
+                   b[s * n * k + j * k + kk];
+        EXPECT_NEAR(cr[i * n + j], ref, 1e-3) << simd::name(backend);
+      }
+  }
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 // Batched serving API: classify_batch must match per-report classify
-// bit-for-bit, at any thread count.
+// bit-for-bit, at any thread count, under every available SIMD backend
+// (within a backend the kernels are deterministic; the backend loops here
+// pin that for the whole ingest->classify pipeline).
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -9,12 +11,15 @@
 #include "core/pipeline.h"
 #include "dataset/features.h"
 #include "dataset/traces.h"
+#include "nn/simd.h"
 #include "phy/impairments.h"
 #include "test_util.h"
 
 namespace deepcsi {
 namespace {
 
+using tests::available_backends;
+using tests::BackendGuard;
 using tests::ThreadGuard;
 
 core::Authenticator make_authenticator(const dataset::InputSpec& spec) {
@@ -38,36 +43,75 @@ std::vector<feedback::CompressedFeedbackReport> make_reports() {
 }
 
 TEST(PipelineBatchTest, BatchMatchesPerReportClassify) {
+  BackendGuard backend_guard;
   dataset::InputSpec spec;
   spec.subcarrier_stride = 4;
   const core::Authenticator auth = make_authenticator(spec);
   const auto reports = make_reports();
   ASSERT_GE(reports.size(), 6u);
 
-  const auto batch = auth.classify_batch(reports);
-  ASSERT_EQ(batch.size(), reports.size());
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    const auto single = auth.classify(reports[i]);
-    EXPECT_EQ(batch[i].module_id, single.module_id) << i;
-    EXPECT_EQ(batch[i].confidence, single.confidence) << i;
+  for (const simd::Backend backend : available_backends()) {
+    ASSERT_TRUE(simd::set_active(backend));
+    const auto batch = auth.classify_batch(reports);
+    ASSERT_EQ(batch.size(), reports.size());
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto single = auth.classify(reports[i]);
+      EXPECT_EQ(batch[i].module_id, single.module_id)
+          << simd::name(backend) << " " << i;
+      EXPECT_EQ(batch[i].confidence, single.confidence)
+          << simd::name(backend) << " " << i;
+    }
   }
 }
 
 TEST(PipelineBatchTest, BatchBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
+  BackendGuard backend_guard;
   dataset::InputSpec spec;
   spec.subcarrier_stride = 4;
   const core::Authenticator auth = make_authenticator(spec);
   const auto reports = make_reports();
 
-  common::set_num_threads(1);
-  const auto r1 = auth.classify_batch(reports);
-  common::set_num_threads(4);
-  const auto r4 = auth.classify_batch(reports);
-  ASSERT_EQ(r1.size(), r4.size());
-  for (std::size_t i = 0; i < r1.size(); ++i) {
-    EXPECT_EQ(r1[i].module_id, r4[i].module_id) << i;
-    EXPECT_EQ(r1[i].confidence, r4[i].confidence) << i;
+  for (const simd::Backend backend : available_backends()) {
+    ASSERT_TRUE(simd::set_active(backend));
+    common::set_num_threads(1);
+    const auto r1 = auth.classify_batch(reports);
+    common::set_num_threads(4);
+    const auto r4 = auth.classify_batch(reports);
+    ASSERT_EQ(r1.size(), r4.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      EXPECT_EQ(r1[i].module_id, r4[i].module_id)
+          << simd::name(backend) << " " << i;
+      EXPECT_EQ(r1[i].confidence, r4[i].confidence)
+          << simd::name(backend) << " " << i;
+    }
+  }
+}
+
+TEST(PipelineBatchTest, ClassifyVerdictsAgreeAcrossBackends) {
+  // Cross-backend contract: activations may differ by FMA rounding, but
+  // the argmax verdict a deployment acts on must not flip.
+  BackendGuard backend_guard;
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 4;
+  const core::Authenticator auth = make_authenticator(spec);
+  const auto reports = make_reports();
+  const auto backends = available_backends();
+  if (backends.size() < 2) GTEST_SKIP() << "only one backend available";
+
+  ASSERT_TRUE(simd::set_active(backends[0]));
+  const auto reference = auth.classify_batch(reports);
+  for (std::size_t b = 1; b < backends.size(); ++b) {
+    ASSERT_TRUE(simd::set_active(backends[b]));
+    const auto other = auth.classify_batch(reports);
+    ASSERT_EQ(other.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(other[i].module_id, reference[i].module_id)
+          << simd::name(backends[b]) << " report " << i;
+      // Confidence is a softmax output; backends agree to float rounding.
+      EXPECT_NEAR(other[i].confidence, reference[i].confidence, 1e-4)
+          << simd::name(backends[b]) << " report " << i;
+    }
   }
 }
 

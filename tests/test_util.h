@@ -2,6 +2,7 @@
 #pragma once
 
 #include "common/parallel.h"
+#include "nn/simd.h"
 
 namespace deepcsi::tests {
 
@@ -16,5 +17,21 @@ class ThreadGuard {
  private:
   int saved_;
 };
+
+// Restores the active SIMD backend on scope exit.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::active()) {}
+  ~BackendGuard() { simd::set_active(saved_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  simd::Backend saved_;
+};
+
+// Tests loop over simd::available_backends() so the same bit-identity
+// contracts are pinned under every backend the host can run.
+using simd::available_backends;
 
 }  // namespace deepcsi::tests
