@@ -1,0 +1,234 @@
+// Networked-serving benchmark: feedback reports pushed through the real
+// wire path — NetClient framing -> loopback TCP -> TcpIngestServer
+// (epoll reassembly + decode) -> AuthService lane queues — at 1, 8 and
+// 64 concurrent connections. This is the cost of the network front end
+// on top of the in-process serving bench (bench_serving), so the two
+// throughput numbers bracket the protocol + syscall overhead.
+//
+// Writes BENCH_net.json for the perf trajectory:
+//   - net_ingest_throughput: ingested reports/s per connection count
+//     (gated by tools/bench_compare.py via the reports/s unit)
+//   - net_batch_latency_p99_ms: end-to-end batch staleness, informational
+//   - net_verdict_parity: single-connection verdicts vs the offline
+//     replay pipeline, bit-identical (also rides the exit code)
+//
+// 64 stations x 8 reports = 512 reports per configuration. Stations are
+// sharded across connections by mix64(MAC) — the same rule the service
+// uses for lanes — so one station's reports travel one connection in
+// FIFO order and the verdict stream stays deterministic.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "capture/monitor.h"
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/report_queue.h"
+#include "core/model.h"
+#include "dataset/features.h"
+#include "dataset/traces.h"
+#include "net/client.h"
+#include "net/ingest_server.h"
+#include "phy/impairments.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+
+namespace {
+
+using namespace deepcsi;
+
+constexpr int kStations = 64;
+constexpr int kReportsPerStation = 8;
+
+std::size_t max_batch_from_env() {
+  std::size_t batch = 64;
+  if (const char* s = std::getenv("DEEPCSI_BENCH_BATCH")) {
+    const long v = std::atol(s);
+    if (v >= 1) batch = static_cast<std::size_t>(v);
+  }
+  return batch;
+}
+
+// Interleaved multi-station stream, same shape as bench_serving's: station
+// s transmits the reports of module s % kNumModules, frame by frame.
+std::vector<capture::ObservedFeedback> make_stream() {
+  dataset::Scale scale;
+  scale.d1_snapshots_per_trace = kReportsPerStation;
+  std::vector<std::vector<feedback::CompressedFeedbackReport>> per_station;
+  for (int s = 0; s < kStations; ++s) {
+    const dataset::Trace trace =
+        dataset::generate_d1_trace(s % phy::kNumModules, 1, 0, scale, {});
+    std::vector<feedback::CompressedFeedbackReport> reports;
+    for (const dataset::Snapshot& snap : trace.snapshots)
+      reports.push_back(snap.report);
+    per_station.push_back(std::move(reports));
+  }
+  std::vector<capture::ObservedFeedback> stream;
+  for (int i = 0; i < kReportsPerStation; ++i)
+    for (int s = 0; s < kStations; ++s) {
+      capture::ObservedFeedback obs;
+      obs.timestamp_s = 0.001 * static_cast<double>(stream.size());
+      obs.beamformee = capture::MacAddress::for_station(s);
+      obs.beamformer = capture::MacAddress::for_module(0);
+      obs.report = per_station[static_cast<std::size_t>(s)][
+          static_cast<std::size_t>(i)];
+      stream.push_back(std::move(obs));
+    }
+  return stream;
+}
+
+serving::ServiceConfig service_config() {
+  serving::ServiceConfig cfg;
+  cfg.queue_capacity = 1024;
+  cfg.policy = common::OverflowPolicy::kBlock;
+  cfg.scheduler.max_batch = max_batch_from_env();
+  cfg.scheduler.max_latency = std::chrono::milliseconds(2);
+  cfg.sessions.window = 31;
+  return cfg;
+}
+
+// Runs one connection-count configuration: start the service + ingest
+// server, stream the whole report set from `conns` client threads, wait
+// for every report to be accepted, drain. Fills `verdicts` with the
+// final per-station snapshot (used for the single-connection parity
+// check) and returns the measured ingest rate in reports/s.
+double run_config(const core::Authenticator& auth,
+                  const std::vector<capture::ObservedFeedback>& stream,
+                  int conns, bench::BenchReport& report,
+                  std::vector<serving::StationVerdict>& verdicts) {
+  serving::AuthService service(auth, service_config());
+  service.start();
+  net::TcpIngestServer ingest(
+      net::IngestConfig{},
+      [&service](capture::ObservedFeedback& obs) {
+        return service.try_submit(obs);
+      });
+  ingest.start();
+  const std::uint16_t port = ingest.port();
+
+  bench::Stopwatch timer;
+  std::vector<std::thread> senders;
+  senders.reserve(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    senders.emplace_back([&stream, conns, c, port] {
+      net::NetClient client = net::NetClient::connect("127.0.0.1", port);
+      for (const capture::ObservedFeedback& obs : stream) {
+        const std::size_t lane =
+            common::mix64(obs.beamformee.to_u64()) %
+            static_cast<std::size_t>(conns);
+        if (lane != static_cast<std::size_t>(c)) continue;
+        if (!client.send_report(obs)) break;
+      }
+      client.close();
+    });
+  }
+  for (std::thread& t : senders) t.join();
+  // Clients have closed, but the server may still hold buffered frames;
+  // the measurement ends when the last report has been accepted into a
+  // lane queue (bounded wait so a wedged server fails loudly, not
+  // silently forever).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (ingest.stats().reports_submitted < stream.size()) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::fprintf(stderr, "bench_net: ingest stalled (%llu/%zu reports)\n",
+                   static_cast<unsigned long long>(
+                       ingest.stats().reports_submitted),
+                   stream.size());
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double elapsed = timer.seconds();
+  ingest.stop();
+  service.drain();
+
+  const net::IngestStats in = ingest.stats();
+  const serving::ServiceStats stats = service.stats();
+  DEEPCSI_CHECK(in.reports_dropped == 0);
+  DEEPCSI_CHECK(stats.reports_classified == stream.size());
+  verdicts = service.sessions().snapshot();
+
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(stream.size()) / elapsed : 0.0;
+  std::printf("%12d %14.1f %10.2f %10llu %8llu\n", conns, rate,
+              stats.batch_latency_p99_ms,
+              static_cast<unsigned long long>(in.frames),
+              static_cast<unsigned long long>(in.pauses));
+  const std::vector<std::pair<std::string, double>> attrs = {
+      {"connections", static_cast<double>(conns)},
+      {"max_batch", static_cast<double>(max_batch_from_env())}};
+  report.add_metric("net_ingest_throughput", rate, "reports/s", attrs);
+  report.add_metric("net_batch_latency_p99_ms", stats.batch_latency_p99_ms,
+                    "ms", attrs);
+  std::fflush(stdout);
+  return rate;
+}
+
+// The loopback stream must not change what the pipeline concludes: the
+// single-connection verdicts have to match the offline replay of the
+// same stream field for field.
+bool verdicts_match_offline(const core::Authenticator& auth,
+                            const std::vector<capture::ObservedFeedback>& stream,
+                            const std::vector<serving::StationVerdict>& online,
+                            bench::BenchReport& report) {
+  serving::AuthService service(auth, service_config());
+  serving::replay_observed(service, stream, serving::ReplayConfig{});
+  const std::vector<serving::StationVerdict> offline =
+      service.sessions().snapshot();
+  bool identical = online.size() == offline.size();
+  for (std::size_t i = 0; identical && i < online.size(); ++i)
+    identical = online[i].station == offline[i].station &&
+                online[i].module_id == offline[i].module_id &&
+                online[i].votes == offline[i].votes &&
+                online[i].mean_confidence == offline[i].mean_confidence;
+  std::printf("single-connection verdicts identical to offline replay: %s\n",
+              identical ? "yes" : "NO");
+  report.add_metric("net_verdict_parity", identical ? 1.0 : 0.0, "bool");
+  std::fflush(stdout);
+  return identical;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("net",
+                      "networked serving: NetClient -> loopback TCP -> "
+                      "epoll ingest -> lane queues");
+  bench::BenchReport report("net");
+
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = dataset::scale_from_env().subcarrier_stride;
+  const core::ModelConfig model_cfg = dataset::full_scale_selected()
+                                          ? core::paper_model_config()
+                                          : core::quick_model_config();
+  const core::Authenticator auth(
+      core::build_deepcsi_model(dataset::num_input_channels(spec),
+                                static_cast<int>(dataset::num_input_columns(spec)),
+                                phy::kNumModules, model_cfg),
+      spec);
+
+  const auto stream = make_stream();
+  std::printf("loopback ingest (%zu reports = %d stations x %d, batch<=%zu, "
+              "queue=1024, block policy)\n",
+              stream.size(), kStations, kReportsPerStation,
+              max_batch_from_env());
+  std::printf("%12s %14s %10s %10s %8s\n", "connections", "ingested/s",
+              "p99 ms", "frames", "pauses");
+  std::vector<serving::StationVerdict> single_conn_verdicts;
+  for (const int conns : {1, 8, 64}) {
+    std::vector<serving::StationVerdict> verdicts;
+    run_config(auth, stream, conns, report, verdicts);
+    if (conns == 1) single_conn_verdicts = std::move(verdicts);
+  }
+  std::printf("\n");
+
+  const bool parity =
+      verdicts_match_offline(auth, stream, single_conn_verdicts, report);
+
+  report.write_json();
+  return parity ? 0 : 1;
+}

@@ -31,6 +31,13 @@ namespace deepcsi::common {
 
 enum class OverflowPolicy { kBlock, kDropOldest, kReject };
 
+// Outcome of a non-blocking try_push: accepted (item consumed), would
+// block (kBlock policy, queue full — item left untouched so the caller
+// can park it and retry), or rejected (kReject policy full, or closed).
+// The network front end maps these onto per-connection behaviour:
+// kWouldBlock pauses the socket's EPOLLIN, kRejected counts a drop.
+enum class PushStatus { kAccepted, kWouldBlock, kRejected };
+
 // Outcome of a deadline-bounded pop: got an item, gave up at the deadline
 // (queue still open), or found the queue closed and fully drained. The
 // three cases are distinguished at the moment the queue lock is held, so
@@ -44,6 +51,7 @@ struct QueueStats {
   std::size_t popped = 0;          // items handed to consumers
   std::size_t dropped_oldest = 0;  // evicted by kDropOldest
   std::size_t rejected = 0;        // refused by kReject (or push-after-close)
+  std::size_t would_block = 0;     // try_push refusals under kBlock
 };
 
 template <typename T>
@@ -89,6 +97,38 @@ class ReportQueue {
     if (items_.size() > stats_.peak_depth) stats_.peak_depth = items_.size();
     ready_.notify_one();
     return true;
+  }
+
+  // Non-blocking producer entry (the epoll ingest path, which must never
+  // park the event-loop thread). Moves from `item` only on kAccepted;
+  // kWouldBlock (kBlock policy, queue full) leaves it intact so the
+  // caller can hold it and retry once the consumer makes room. Drop and
+  // reject accounting matches push().
+  PushStatus try_push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) {
+      ++stats_.rejected;
+      return PushStatus::kRejected;
+    }
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock:
+          ++stats_.would_block;
+          return PushStatus::kWouldBlock;
+        case OverflowPolicy::kDropOldest:
+          items_.pop_front();
+          ++stats_.dropped_oldest;
+          break;
+        case OverflowPolicy::kReject:
+          ++stats_.rejected;
+          return PushStatus::kRejected;
+      }
+    }
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    if (items_.size() > stats_.peak_depth) stats_.peak_depth = items_.size();
+    ready_.notify_one();
+    return PushStatus::kAccepted;
   }
 
   // Consumer side: blocks until an item arrives. Returns false only once

@@ -1,0 +1,94 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace deepcsi::net {
+
+NetClient NetClient::connect(const std::string& host, std::uint16_t port,
+                             std::chrono::milliseconds timeout) {
+  NetClient c;
+  c.fd_ = connect_tcp(host, port, timeout);
+  return c;
+}
+
+NetClient::~NetClient() { close(); }
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+bool NetClient::send_report(const capture::ObservedFeedback& obs) {
+  if (fd_ < 0) return false;
+  const std::vector<std::uint8_t> frame = encode_report_frame(obs);
+  return write_all(fd_, frame.data(), frame.size());
+}
+
+bool NetClient::send_bytes(std::span<const std::uint8_t> data) {
+  if (fd_ < 0) return false;
+  return write_all(fd_, data.data(), data.size());
+}
+
+void NetClient::close() {
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+VerdictSubscriber VerdictSubscriber::connect(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds timeout) {
+  VerdictSubscriber s;
+  s.fd_ = connect_tcp(host, port, timeout);
+  return s;
+}
+
+VerdictSubscriber::~VerdictSubscriber() { close(); }
+
+VerdictSubscriber::VerdictSubscriber(VerdictSubscriber&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      assembler_(std::move(other.assembler_)) {}
+
+VerdictSubscriber& VerdictSubscriber::operator=(
+    VerdictSubscriber&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    assembler_ = std::move(other.assembler_);
+  }
+  return *this;
+}
+
+std::optional<FrameAssembler::Frame> VerdictSubscriber::next_frame() {
+  if (fd_ < 0) return std::nullopt;
+  FrameAssembler::Frame frame;
+  for (;;) {
+    if (assembler_.next(frame)) return frame;
+    if (assembler_.error() != FrameAssembler::Error::kNone) return std::nullopt;
+    std::uint8_t buf[16384];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      assembler_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return std::nullopt;  // EOF or hard error: the stream is over
+  }
+}
+
+void VerdictSubscriber::close() {
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace deepcsi::net

@@ -1,0 +1,78 @@
+// Client side of the wire protocol: NetClient streams feedback-report
+// frames into a TcpIngestServer (the replay driver and bench_net use
+// it), and VerdictSubscriber consumes the VerdictPublisher stream.
+// Both are deliberately simple blocking wrappers — backpressure from a
+// paused server surfaces as send() blocking in the kernel, which is
+// exactly the flow-control behaviour the server's EPOLLIN toggling is
+// designed to produce.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "capture/monitor.h"
+#include "net/protocol.h"
+
+namespace deepcsi::net {
+
+class NetClient {
+ public:
+  // Retries until the server is listening or the timeout lapses (lets a
+  // driver race a freshly forked server). Throws on final failure.
+  static NetClient connect(const std::string& host, std::uint16_t port,
+                           std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(5000));
+
+  NetClient() = default;
+  ~NetClient();
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Encodes and writes one report frame. False once the peer is gone.
+  bool send_report(const capture::ObservedFeedback& obs);
+  // Raw bytes, unframed — the malformed-input tests poke the server with
+  // garbage through this.
+  bool send_bytes(std::span<const std::uint8_t> data);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Blocking reader over a publisher connection. next_frame() returns
+// nullopt at orderly EOF (the publisher flushed and closed) or on a
+// framing error (check error()).
+class VerdictSubscriber {
+ public:
+  static VerdictSubscriber connect(const std::string& host,
+                                   std::uint16_t port,
+                                   std::chrono::milliseconds timeout =
+                                       std::chrono::milliseconds(5000));
+
+  VerdictSubscriber() = default;
+  ~VerdictSubscriber();
+  VerdictSubscriber(VerdictSubscriber&& other) noexcept;
+  VerdictSubscriber& operator=(VerdictSubscriber&& other) noexcept;
+  VerdictSubscriber(const VerdictSubscriber&) = delete;
+  VerdictSubscriber& operator=(const VerdictSubscriber&) = delete;
+
+  std::optional<FrameAssembler::Frame> next_frame();
+  FrameAssembler::Error error() const { return assembler_.error(); }
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace deepcsi::net

@@ -1,0 +1,108 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace deepcsi::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, Callback cb) {
+  DEEPCSI_CHECK(fd >= 0);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0)
+    throw_errno("epoll_ctl(add)");
+  callbacks_[fd] = std::make_shared<Callback>(std::move(cb));
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0)
+    throw_errno("epoll_ctl(mod)");
+}
+
+void EventLoop::remove(int fd) {
+  // The fd may already be closed by the owner; EBADF/ENOENT is fine.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int timeout = timeout_ms_ ? timeout_ms_() : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t counter = 0;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;
+      }
+      // Look up fresh per event: an earlier callback this iteration may
+      // have removed this fd (e.g. closed a dead connection).
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      const std::shared_ptr<Callback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+    if (tick_) tick_();
+  }
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace deepcsi::net

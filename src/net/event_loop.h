@@ -1,0 +1,69 @@
+// Non-blocking epoll event loop: the single-threaded reactor both the
+// ingest server and the verdict publisher run on.
+//
+// Threading contract: add/modify/remove and run() belong to ONE thread
+// (the owner spawns a thread that calls run(); fd registrations happen
+// either before that thread starts or from inside callbacks/ticks, which
+// execute on the loop thread). Only stop() and wake() are thread-safe —
+// they signal through an eventfd, so a producer thread can nudge the
+// loop (e.g. "a verdict was enqueued, arm EPOLLOUT") without touching
+// any fd state itself.
+//
+// The tick handler runs after EVERY epoll_wait return (events, wake or
+// timeout) on the loop thread; owners use it for deferred work such as
+// retrying a backpressured submit or arming writers for freshly buffered
+// frames. The timeout provider decides how long the loop may sleep
+// (-1 = until an event) — e.g. the ingest server returns a short timeout
+// while any connection is paused on a full queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace deepcsi::net {
+
+class EventLoop {
+ public:
+  // `events` is the epoll event mask (EPOLLIN / EPOLLOUT / ...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Loop-thread only. The callback is invoked with the ready event mask.
+  void add(int fd, std::uint32_t events, Callback cb);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);  // also forgets the callback; does not close the fd
+
+  // Runs until stop(). Dispatches ready callbacks, then the tick handler.
+  void run();
+
+  // Thread-safe: makes run() return after the current iteration.
+  void stop();
+  // Thread-safe: forces an immediate iteration (and thus a tick).
+  void wake();
+
+  void set_tick(std::function<void()> tick) { tick_ = std::move(tick); }
+  // Returns the epoll_wait timeout in ms (-1 = block until an event).
+  void set_timeout_provider(std::function<int()> provider) {
+    timeout_ms_ = std::move(provider);
+  }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop()/wake() signal through it
+  std::atomic<bool> stop_requested_{false};
+  // shared_ptr so a callback that removes fds (even its own) mid-dispatch
+  // never invalidates the handler currently executing.
+  std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
+  std::function<void()> tick_;
+  std::function<int()> timeout_ms_;
+};
+
+}  // namespace deepcsi::net

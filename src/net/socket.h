@@ -1,0 +1,36 @@
+// Thin POSIX TCP socket helpers shared by the epoll servers and the
+// blocking client. Loopback-first by design: the front end binds
+// 127.0.0.1 unless told otherwise — the observer's network surface is a
+// deliberate localhost/lab deployment, not an internet listener.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace deepcsi::net {
+
+// Creates a non-blocking listening socket bound to `bind_addr:port`
+// (port 0 picks an ephemeral port; read it back with local_port).
+// Throws std::runtime_error with the errno text on failure.
+int listen_tcp(std::uint16_t port, const std::string& bind_addr = "127.0.0.1",
+               int backlog = 128);
+
+// The port a bound socket actually listens on (resolves port 0).
+std::uint16_t local_port(int fd);
+
+// Blocking connect with retry until `timeout` elapses — the peer may
+// still be starting up (the CI e2e launches the server in the
+// background). Returns the connected fd or throws std::runtime_error.
+int connect_tcp(const std::string& host, std::uint16_t port,
+                std::chrono::milliseconds timeout);
+
+void set_nonblocking(int fd, bool nonblocking);
+
+// Writes the whole buffer on a blocking socket (resumes partial writes
+// and EINTR). Returns false once the peer has gone away (EPIPE/RESET).
+bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+
+void close_fd(int fd);
+
+}  // namespace deepcsi::net

@@ -95,6 +95,27 @@ bool AuthService::submit(capture::MacAddress station, double timestamp_s,
   return queues_[lane_for(station)]->push(std::move(item));
 }
 
+common::PushStatus AuthService::try_submit(capture::ObservedFeedback& obs) {
+  PendingReport item;
+  item.station = obs.beamformee;
+  item.timestamp_s = obs.timestamp_s;
+  item.report = std::move(obs.report);
+  item.enqueued_at = std::chrono::steady_clock::now();
+  const common::PushStatus status =
+      queues_[lane_for(item.station)]->try_push(item);
+  // try_push moves from `item` only on kAccepted; on would-block hand the
+  // payload back so the caller can park the report and retry later.
+  if (status == common::PushStatus::kWouldBlock)
+    obs.report = std::move(item.report);
+  return status;
+}
+
+void AuthService::set_verdict_callback(VerdictCallback cb) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  DEEPCSI_CHECK(!started_);  // lane threads read verdict_cb_ unlocked
+  verdict_cb_ = std::move(cb);
+}
+
 void AuthService::drain() {
   for (auto& queue : queues_) queue->close();
   scheduler_.join();
@@ -122,9 +143,11 @@ void AuthService::on_batch(std::vector<PendingReport>&& batch,
                             std::span(scratch.predictions.data(),
                                       scratch.predictions.size()));
 
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    sessions_.record(batch[i].station, scratch.predictions[i],
-                     batch[i].timestamp_s);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const SessionTable::RecordResult r = sessions_.record(
+        batch[i].station, scratch.predictions[i], batch[i].timestamp_s);
+    if (r.changed && verdict_cb_) verdict_cb_(r.verdict);
+  }
 
   const double latency_ms =
       std::chrono::duration<double, std::milli>(
@@ -158,6 +181,7 @@ ServiceStats AuthService::stats() const {
     s.queue.popped += q.popped;
     s.queue.dropped_oldest += q.dropped_oldest;
     s.queue.rejected += q.rejected;
+    s.queue.would_block += q.would_block;
   }
   s.scheduler = scheduler_.stats();
   s.consumers = queues_.size();

@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -96,6 +97,21 @@ class AuthService {
   bool submit(capture::MacAddress station, double timestamp_s,
               feedback::CompressedFeedbackReport report);
 
+  // Non-blocking producer entry for the network ingest path (which must
+  // never park the event-loop thread). Consumes `obs` only on kAccepted;
+  // kWouldBlock (kBlock policy, lane queue full) leaves it intact so the
+  // caller can hold the report and retry — the ingest server turns that
+  // into a paused connection (EPOLLIN off, TCP flow control).
+  common::PushStatus try_submit(capture::ObservedFeedback& obs);
+
+  // Streams every verdict transition (majority module changed, or first
+  // report of a station) to `cb`, invoked from lane threads under no
+  // service lock — the callback must be thread-safe and fast (the
+  // VerdictPublisher's publish() qualifies: it buffers and returns).
+  // Set before start().
+  using VerdictCallback = std::function<void(const StationVerdict&)>;
+  void set_verdict_callback(VerdictCallback cb);
+
   // Stops intake, classifies everything still queued, and joins the
   // lane threads. Idempotent.
   void drain();
@@ -112,6 +128,7 @@ class AuthService {
 
   const core::Authenticator& auth_;
   ServiceConfig cfg_;
+  VerdictCallback verdict_cb_;  // set before start(), read by lane threads
   // One bounded queue per lane (ReportQueue is not movable, hence the
   // unique_ptr indirection).
   std::vector<std::unique_ptr<common::ReportQueue<PendingReport>>> queues_;

@@ -31,13 +31,22 @@ SessionTable::Shard& SessionTable::shard_for(std::uint64_t key) const {
   return shards_[common::mix64(key) % cfg_.num_shards];
 }
 
-void SessionTable::record(const capture::MacAddress& station,
-                          const core::Authenticator::Prediction& prediction,
-                          double timestamp_s) {
+SessionTable::RecordResult SessionTable::record(
+    const capture::MacAddress& station,
+    const core::Authenticator::Prediction& prediction, double timestamp_s) {
   const std::uint64_t key = station.to_u64();
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   Session& s = shard.sessions[key];
+  const bool fresh = s.total_reports == 0;
+  int old_majority = -1;
+  std::size_t old_votes = 0;
+  for (const auto& [id, count] : s.counts) {
+    if (count > old_votes) {
+      old_majority = id;
+      old_votes = count;
+    }
+  }
   if (s.window.size() == cfg_.window) {
     const auto& [old_id, old_conf] = s.window.front();
     auto it = s.counts.find(old_id);
@@ -50,6 +59,10 @@ void SessionTable::record(const capture::MacAddress& station,
   s.confidence_sum += prediction.confidence;
   ++s.total_reports;
   s.last_timestamp_s = timestamp_s;
+  RecordResult result;
+  result.verdict = verdict_of(key, s);
+  result.changed = fresh || result.verdict.module_id != old_majority;
+  return result;
 }
 
 StationVerdict SessionTable::verdict_of(std::uint64_t key, const Session& s) {

@@ -48,12 +48,23 @@ class SessionTable {
  public:
   explicit SessionTable(SessionConfig cfg);
 
+  // The verdict as of one record() call, plus whether the majority module
+  // flipped (or the station is new) — the publisher only streams
+  // transitions, so a 10k-report capture with stable verdicts emits a
+  // handful of frames, not 10k.
+  struct RecordResult {
+    StationVerdict verdict;
+    bool changed = false;
+  };
+
   // Fold one classifier prediction into the station's window. Thread-safe;
   // calls for the same station must arrive in stream order for the verdict
-  // to be meaningful (the scheduler's FIFO drain guarantees this).
-  void record(const capture::MacAddress& station,
-              const core::Authenticator::Prediction& prediction,
-              double timestamp_s);
+  // to be meaningful (the scheduler's FIFO drain guarantees this). The
+  // returned verdict is computed under the same shard lock, so it reflects
+  // exactly this prediction's effect.
+  RecordResult record(const capture::MacAddress& station,
+                      const core::Authenticator::Prediction& prediction,
+                      double timestamp_s);
 
   // Current verdict for one station, if it has been seen.
   std::optional<StationVerdict> verdict(const capture::MacAddress& station) const;

@@ -12,6 +12,18 @@
 //       async ingest queue -> batching scheduler -> classify_batch ->
 //       per-station rolling majority verdicts, plus throughput/latency
 //       stats. `--loop` repeats the capture, `--rate` paces it.
+//   deepcsi serve --model MODEL.bin --listen PORT [--publish PORT]
+//       Same service fed over TCP instead of replay: an epoll ingest
+//       server accepts feedback-report frames from any number of
+//       clients, and the optional publisher streams per-station verdict
+//       transitions to subscribers. `--once 1` exits after the first
+//       wave of clients disconnects (CI's loopback e2e uses this).
+//   deepcsi drive --pcap FILE.pcap --connect PORT [--subscribe PORT]
+//       Network replay driver: streams a capture's feedback reports into
+//       a running `serve --listen` over N connections (stations sharded
+//       by MAC so per-station order is preserved), collects the
+//       published verdict stream, and — given --model — checks the
+//       published verdicts match the offline pipeline bit-for-bit.
 //   deepcsi inspect --pcap FILE.pcap
 //       Decode VHT Compressed Beamforming frames (Wireshark-style).
 //
@@ -19,18 +31,26 @@
 // examples/dataset_export emits .dcst archives and per-trace pcaps).
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "capture/monitor.h"
+#include "common/hash.h"
 #include "core/pipeline.h"
 #include "dataset/io.h"
 #include "dataset/splits.h"
+#include "net/client.h"
+#include "net/ingest_server.h"
+#include "net/publisher.h"
 #include "nn/serialize.h"
 #include "serving/replay.h"
 #include "serving/service.h"
@@ -100,20 +120,39 @@ Args parse_args(int argc, char** argv, int from) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: deepcsi <generate|train|classify|serve|inspect> [options]\n"
+               "usage: deepcsi <generate|train|classify|serve|drive|inspect> [options]\n"
                "  generate --out DIR [--modules M=10] [--positions P=3] "
-               "[--snapshots N=12] [--seed S=17]\n"
+               "[--snapshots N=12] [--seed S=17] [--pcap FILE.pcap]\n"
                "  train    --data FILE.dcst --out MODEL.bin [--epochs E=18] "
                "[--stride S=2] [--filters F=32]\n"
                "  classify --model MODEL.bin --pcap FILE.pcap [--stride S=2] "
                "[--filters F=32]\n"
-               "  serve    --model MODEL.bin --pcap FILE.pcap [--loop N=1] "
+               "  serve    --model MODEL.bin (--pcap FILE.pcap [--loop N=1] "
                "[--producers P=1] [--rate RPS=0]\n"
+               "            | --listen PORT [--publish PORT] [--max-conns N=64] "
+               "[--once 0|1] [--port-file PATH])\n"
                "           [--batch B=64] [--latency-us L=2000] "
                "[--policy block|drop-oldest|reject] [--queue C=1024] "
                "[--window W=31] [--consumers K=1]\n"
+               "  drive    --pcap FILE.pcap --connect PORT [--subscribe PORT] "
+               "[--host H=127.0.0.1] [--conns N=1]\n"
+               "           [--model MODEL.bin] [--window W=31]   "
+               "(--model enables offline-parity verification)\n"
                "  inspect  --pcap FILE.pcap [--max N=5]\n");
   return 2;
+}
+
+// TCP ports live in [1, 65535]; anything else (including 0 — CI needs a
+// port it can hand to the driver, so no ephemeral binds here) is a usage
+// error like a malformed integer: diagnostic + exit 2.
+std::uint16_t get_port(const Args& args, const std::string& key) {
+  const int port = args.get_int(key, 0);
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "invalid port for --%s: %d (expected 1..65535)\n",
+                 key.c_str(), port);
+    std::exit(2);
+  }
+  return static_cast<std::uint16_t>(port);
 }
 
 dataset::InputSpec spec_from(const Args& args) {
@@ -172,6 +211,40 @@ int cmd_generate(const Args& args) {
   std::printf("generate: %zu traces (%d modules x %d positions, %d "
               "snapshots each) -> %s\n",
               corpus.size(), modules, positions, snapshots, path.c_str());
+
+  if (args.has("pcap")) {
+    // Merged multi-station capture for the serving paths: station i
+    // transmits module i's position-1 reports, interleaved snapshot by
+    // snapshot, so one pcap exercises many concurrent sessions and the
+    // expected fingerprint of station i is simply module i.
+    std::vector<capture::CapturedPacket> packets;
+    std::vector<std::uint16_t> seq(static_cast<std::size_t>(modules), 0);
+    double t = 0.0;
+    for (int s = 0; s < snapshots; ++s) {
+      for (int module = 0; module < modules; ++module) {
+        const dataset::Snapshot& snap =
+            corpus[static_cast<std::size_t>(module * positions)].snapshots
+                [static_cast<std::size_t>(s)];
+        capture::BeamformingActionFrame frame;
+        frame.ra = capture::MacAddress::for_module(module);
+        frame.ta = capture::MacAddress::for_station(module);
+        frame.bssid = frame.ra;
+        frame.sequence = seq[static_cast<std::size_t>(module)]++;
+        frame.mimo_control.nc = snap.report.nss;
+        frame.mimo_control.nr = snap.report.m;
+        frame.mimo_control.bandwidth = 2;
+        frame.mimo_control.codebook_high =
+            snap.report.quant == feedback::mu_mimo_codebook_high();
+        frame.report = feedback::pack_report(snap.report);
+        packets.push_back({t, frame.serialize()});
+        t += 0.05;
+      }
+    }
+    capture::write_pcap(args.get("pcap"), packets);
+    std::printf("generate: %zu-frame multi-station capture (%d stations) "
+                "-> %s\n",
+                packets.size(), modules, args.get("pcap").c_str());
+  }
   return 0;
 }
 
@@ -231,8 +304,167 @@ int cmd_classify(const Args& args) {
   return 0;
 }
 
+net::VerdictMsg to_verdict_msg(const serving::StationVerdict& v) {
+  net::VerdictMsg m;
+  m.station = v.station;
+  m.module_id = static_cast<std::int32_t>(v.module_id);
+  m.votes = static_cast<std::uint32_t>(v.votes);
+  m.window_size = static_cast<std::uint32_t>(v.window_size);
+  m.total_reports = static_cast<std::uint64_t>(v.total_reports);
+  m.mean_confidence = v.mean_confidence;
+  m.last_timestamp_s = v.last_timestamp_s;
+  return m;
+}
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_sigint(int) { g_interrupted = 1; }
+
+void print_verdicts(const serving::AuthService& service,
+                    const serving::ServiceConfig& cfg) {
+  std::printf("\nper-station verdicts (rolling window of %zu):\n",
+              cfg.sessions.window);
+  for (const serving::StationVerdict& v : service.sessions().snapshot())
+    std::printf("  %s -> module %d (%zu/%zu window votes, mean confidence "
+                "%.2f, %zu reports, last t=%.3fs)\n",
+                v.station.to_string().c_str(), v.module_id, v.votes,
+                v.window_size, v.mean_confidence, v.total_reports,
+                v.last_timestamp_s);
+}
+
+// `serve --listen`: the same service, fed over TCP. Construction order
+// matters — the publisher must outlive the service because lane threads
+// call the verdict callback until drain() completes.
+int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
+  const std::uint16_t listen_port = get_port(args, "listen");
+  const bool publish = args.has("publish");
+  const std::uint16_t publish_port = publish ? get_port(args, "publish") : 0;
+  const int max_conns = args.get_int("max-conns", 64);
+  if (max_conns < 1) {
+    std::fprintf(stderr, "serve: --max-conns must be >= 1\n");
+    return 2;
+  }
+  const bool once = args.get_int("once", 0) != 0;
+
+  const core::Authenticator auth = load_authenticator(args);
+
+  std::optional<net::VerdictPublisher> pub;
+  if (publish) {
+    net::PublisherConfig pcfg;
+    pcfg.port = publish_port;
+    pcfg.max_conns = static_cast<std::size_t>(max_conns);
+    pub.emplace(pcfg);
+    pub->start();
+  }
+
+  serving::AuthService service(auth, cfg);
+  if (pub)
+    service.set_verdict_callback([&pub](const serving::StationVerdict& v) {
+      pub->publish(to_verdict_msg(v));
+    });
+  service.start();
+
+  net::IngestConfig icfg;
+  icfg.port = listen_port;
+  icfg.max_conns = static_cast<std::size_t>(max_conns);
+  net::TcpIngestServer ingest(icfg,
+                              [&service](capture::ObservedFeedback& obs) {
+                                return service.try_submit(obs);
+                              });
+  ingest.start();
+
+  if (args.has("port-file")) {
+    // Readiness signal for drivers racing a freshly forked server: the
+    // file appears only once both sockets are bound and accepting.
+    const std::string path = args.get("port-file");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "serve: cannot write --port-file %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u %u\n", ingest.port(), pub ? pub->port() : 0u);
+    std::fclose(f);
+  }
+  const std::string publish_note =
+      pub ? ", publishing verdicts on " + std::to_string(pub->port()) : "";
+  std::printf("serve: ingest on %u%s, %zu consumer lane(s), max %d "
+              "connection(s)%s\n",
+              ingest.port(), publish_note.c_str(), service.num_lanes(),
+              max_conns, once ? ", exiting after first client wave" : "");
+
+  if (once) {
+    ingest.wait_until_idle();
+  } else {
+    std::signal(SIGINT, on_sigint);
+    while (g_interrupted == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::printf("serve: interrupted, draining\n");
+  }
+  ingest.stop();
+  service.drain();  // queued reports classify; verdict callbacks still fire
+
+  const serving::ServiceStats stats = service.stats();
+  if (pub) {
+    // Authoritative end-of-run state: a full verdict snapshot (covers
+    // subscribers that connected after early transitions) and the final
+    // counters, flushed before the publisher closes.
+    for (const serving::StationVerdict& v : service.sessions().snapshot())
+      pub->publish(to_verdict_msg(v));
+    net::StatsMsg sm;
+    sm.reports_classified = stats.reports_classified;
+    sm.dropped_oldest = stats.queue.dropped_oldest;
+    sm.rejected = stats.queue.rejected;
+    sm.throughput_rps = stats.throughput_rps;
+    sm.batch_latency_p99_ms = stats.batch_latency_p99_ms;
+    pub->publish_stats(sm);
+    pub->stop();
+  }
+
+  print_verdicts(service, cfg);
+  const net::IngestStats is = ingest.stats();
+  std::printf("\n--- serve stats ------------------------------------------\n");
+  std::printf("ingest       %llu conn(s) (%llu refused), %llu frames, "
+              "%llu submitted, %llu dropped, %llu malformed, %llu protocol "
+              "errors, %llu pauses\n",
+              static_cast<unsigned long long>(is.conns_accepted),
+              static_cast<unsigned long long>(is.conns_rejected),
+              static_cast<unsigned long long>(is.frames),
+              static_cast<unsigned long long>(is.reports_submitted),
+              static_cast<unsigned long long>(is.reports_dropped),
+              static_cast<unsigned long long>(is.malformed_payloads),
+              static_cast<unsigned long long>(is.protocol_errors),
+              static_cast<unsigned long long>(is.pauses));
+  std::printf("throughput   %zu classified in %.3fs (%.0f reports/s)\n",
+              stats.reports_classified, stats.wall_seconds,
+              stats.throughput_rps);
+  std::printf("latency      batch p50=%.2fms p99=%.2fms max=%.2fms\n",
+              stats.batch_latency_p50_ms, stats.batch_latency_p99_ms,
+              stats.batch_latency_max_ms);
+  std::printf("queue        peak depth %zu (budget %zu), drops: "
+              "dropped-oldest=%zu rejected=%zu, would-block=%zu\n",
+              stats.queue.peak_depth, cfg.queue_capacity,
+              stats.queue.dropped_oldest, stats.queue.rejected,
+              stats.queue.would_block);
+  if (pub) {
+    const net::PublisherStats ps = pub->stats();
+    std::printf("publish      %llu subscriber(s), %llu frames, %llu "
+                "slow-subscriber drops, %llu bytes\n",
+                static_cast<unsigned long long>(ps.subscribers_accepted),
+                static_cast<unsigned long long>(ps.frames_published),
+                static_cast<unsigned long long>(ps.frames_dropped),
+                static_cast<unsigned long long>(ps.bytes_sent));
+  }
+  std::printf("----------------------------------------------------------\n");
+  return stats.reports_classified > 0 ? 0 : 1;
+}
+
 int cmd_serve(const Args& args) {
-  if (!args.has("model") || !args.has("pcap")) return usage();
+  if (!args.has("model") || (!args.has("pcap") && !args.has("listen")))
+    return usage();
+  if (args.has("pcap") && args.has("listen")) {
+    std::fprintf(stderr, "serve: --pcap and --listen are mutually exclusive\n");
+    return 2;
+  }
 
   // Validate every knob before touching the model or capture: a bad flag
   // should fail fast with a usage error, not after a weights load.
@@ -265,6 +497,8 @@ int cmd_serve(const Args& args) {
     std::fprintf(stderr, "serve: unknown --policy '%s'\n", policy.c_str());
     return 2;
   }
+
+  if (args.has("listen")) return cmd_serve_listen(args, cfg);
 
   serving::ReplayConfig replay;
   replay.loops = args.get_int("loop", 1);
@@ -299,14 +533,7 @@ int cmd_serve(const Args& args) {
       serving::replay_observed(service, observed, replay);
   const serving::ServiceStats stats = service.stats();
 
-  std::printf("\nper-station verdicts (rolling window of %zu):\n",
-              cfg.sessions.window);
-  for (const serving::StationVerdict& v : service.sessions().snapshot())
-    std::printf("  %s -> module %d (%zu/%zu window votes, mean confidence "
-                "%.2f, %zu reports, last t=%.3fs)\n",
-                v.station.to_string().c_str(), v.module_id, v.votes,
-                v.window_size, v.mean_confidence, v.total_reports,
-                v.last_timestamp_s);
+  print_verdicts(service, cfg);
 
   // End-of-run stats block: everything backpressure tuning needs (queue
   // high-water, drops by policy, what flushed each batch, tail latency)
@@ -344,6 +571,156 @@ int cmd_serve(const Args& args) {
   return stats.reports_classified > 0 ? 0 : 1;
 }
 
+// Network replay driver: pushes a capture into `serve --listen` over N
+// connections and (optionally) verifies the published verdicts against
+// the offline pipeline.
+int cmd_drive(const Args& args) {
+  if (!args.has("pcap") || !args.has("connect")) return usage();
+  const std::uint16_t ingest_port = get_port(args, "connect");
+  const bool subscribe = args.has("subscribe");
+  const std::uint16_t sub_port = subscribe ? get_port(args, "subscribe") : 0;
+  const std::string host = args.get("host", "127.0.0.1");
+  const int conns = args.get_int("conns", 1);
+  const int window = args.get_int("window", 31);
+  if (conns < 1 || window < 1) {
+    std::fprintf(stderr, "drive: --conns/--window must be >= 1\n");
+    return 2;
+  }
+
+  const auto packets = capture::read_pcap(args.get("pcap"));
+  const auto observed = capture::observe_feedback(packets, std::nullopt);
+  if (observed.empty()) {
+    std::printf("drive: no decodable beamforming feedback in capture\n");
+    return 1;
+  }
+
+  // Subscribe before sending so no transition can slip past between the
+  // last report and the server's final snapshot.
+  std::optional<net::VerdictSubscriber> sub;
+  if (subscribe)
+    sub.emplace(net::VerdictSubscriber::connect(host, sub_port));
+
+  // Shard stations across connections the way the service shards lanes:
+  // one station's reports all travel one connection, in capture order —
+  // the invariant the verdict math (and the parity check) rests on.
+  std::vector<net::NetClient> clients;
+  clients.reserve(static_cast<std::size_t>(conns));
+  for (int i = 0; i < conns; ++i)
+    clients.push_back(net::NetClient::connect(host, ingest_port));
+  std::size_t sent = 0;
+  for (const auto& obs : observed) {
+    const std::size_t c =
+        common::mix64(obs.beamformee.to_u64()) % clients.size();
+    if (!clients[c].send_report(obs)) {
+      std::fprintf(stderr, "drive: server closed connection %zu mid-send\n", c);
+      return 1;
+    }
+    ++sent;
+  }
+  for (auto& c : clients) c.close();
+  std::printf("drive: sent %zu reports over %d connection(s)\n", sent, conns);
+  if (!sub) return 0;
+
+  // Collect the verdict stream until the server flushes and closes (the
+  // once-mode server ends with a full snapshot + stats frame). Last
+  // update per station wins — that snapshot makes it the final state.
+  std::map<capture::MacAddress, net::VerdictMsg> final_verdicts;
+  std::optional<net::StatsMsg> server_stats;
+  while (auto frame = sub->next_frame()) {
+    const std::span<const std::uint8_t> payload(frame->payload.data(),
+                                                frame->payload.size());
+    if (frame->type == static_cast<std::uint8_t>(net::FrameType::kVerdictUpdate)) {
+      if (const auto v = net::decode_verdict(payload))
+        final_verdicts[v->station] = *v;
+    } else if (frame->type == static_cast<std::uint8_t>(net::FrameType::kStats)) {
+      server_stats = net::decode_stats(payload);
+    }
+  }
+  if (sub->error() != net::FrameAssembler::Error::kNone) {
+    std::fprintf(stderr, "drive: verdict stream protocol error: %s\n",
+                 net::error_name(sub->error()));
+    return 1;
+  }
+
+  std::printf("drive: published verdicts (%zu stations):\n",
+              final_verdicts.size());
+  for (const auto& [mac, v] : final_verdicts)
+    std::printf("  %s -> module %d (%u/%u window votes, %llu reports)\n",
+                mac.to_string().c_str(), v.module_id, v.votes, v.window_size,
+                static_cast<unsigned long long>(v.total_reports));
+  if (server_stats)
+    std::printf("drive: server classified %llu reports (%.0f reports/s, "
+                "p99 %.2fms; drops: oldest=%llu rejected=%llu)\n",
+                static_cast<unsigned long long>(
+                    server_stats->reports_classified),
+                server_stats->throughput_rps,
+                server_stats->batch_latency_p99_ms,
+                static_cast<unsigned long long>(server_stats->dropped_oldest),
+                static_cast<unsigned long long>(server_stats->rejected));
+
+  if (!args.has("model")) return 0;
+
+  // Offline parity: classify the capture through the same model locally
+  // and fold predictions into the same rolling-window majority (lowest
+  // module id wins ties — SessionTable's documented rule). Any diff means
+  // the wire path changed a bit somewhere: encode, reassembly, decode, or
+  // ordering. Requires a lossless run (policy=block), which is how the CI
+  // gate invokes it.
+  const core::Authenticator auth = load_authenticator(args);
+  struct RollingRef {
+    std::deque<int> window;
+    std::map<int, std::size_t> counts;
+  };
+  std::map<capture::MacAddress, RollingRef> refs;
+  for (const auto& obs : observed) {
+    const auto pred = auth.classify(obs.report);
+    RollingRef& ref = refs[obs.beamformee];
+    if (ref.window.size() == static_cast<std::size_t>(window)) {
+      auto it = ref.counts.find(ref.window.front());
+      if (--it->second == 0) ref.counts.erase(it);
+      ref.window.pop_front();
+    }
+    ref.window.push_back(pred.module_id);
+    ++ref.counts[pred.module_id];
+  }
+  std::size_t mismatches = 0;
+  if (refs.size() != final_verdicts.size()) {
+    std::fprintf(stderr,
+                 "drive: PARITY MISMATCH: %zu stations offline vs %zu "
+                 "published\n",
+                 refs.size(), final_verdicts.size());
+    ++mismatches;
+  }
+  for (const auto& [mac, ref] : refs) {
+    int expected = -1;
+    std::size_t best = 0;
+    for (const auto& [id, count] : ref.counts)
+      if (count > best) {
+        expected = id;
+        best = count;
+      }
+    const auto it = final_verdicts.find(mac);
+    if (it == final_verdicts.end()) {
+      std::fprintf(stderr, "drive: PARITY MISMATCH: %s never published\n",
+                   mac.to_string().c_str());
+      ++mismatches;
+    } else if (it->second.module_id != expected ||
+               it->second.votes != static_cast<std::uint32_t>(best)) {
+      std::fprintf(stderr,
+                   "drive: PARITY MISMATCH: %s published module %d (%u "
+                   "votes), offline says module %d (%zu votes)\n",
+                   mac.to_string().c_str(), it->second.module_id,
+                   it->second.votes, expected, best);
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) return 1;
+  std::printf("drive: verdict parity OK (%zu stations match the offline "
+              "pipeline)\n",
+              refs.size());
+  return 0;
+}
+
 int cmd_inspect(const Args& args) {
   if (!args.has("pcap")) return usage();
   const int max_frames = args.get_int("max", 5);
@@ -378,6 +755,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(args);
     if (cmd == "classify") return cmd_classify(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "drive") return cmd_drive(args);
     if (cmd == "inspect") return cmd_inspect(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "deepcsi %s: %s\n", cmd.c_str(), e.what());
