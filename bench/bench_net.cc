@@ -11,6 +11,8 @@
 //   - net_batch_latency_p99_ms: end-to-end batch staleness, informational
 //   - net_verdict_parity: single-connection verdicts vs the offline
 //     replay pipeline, bit-identical (also rides the exit code)
+//   - net_failpoint_disabled_overhead_ns: cost of one unarmed failpoint
+//     check on the hot path, informational
 //
 // 64 stations x 8 reports = 512 reports per configuration. Stations are
 // sharded across connections by mix64(MAC) — the same rule the service
@@ -25,6 +27,7 @@
 #include "bench_common.h"
 #include "capture/monitor.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/report_queue.h"
 #include "core/model.h"
@@ -192,6 +195,24 @@ bool verdicts_match_offline(const core::Authenticator& auth,
   return identical;
 }
 
+// Cost of one DISABLED failpoint check — the price every sys_recv /
+// sys_send / queue.push pays for being injectable. Informational ("ns"
+// is not a gated unit): the claim to keep honest is "a relaxed load,
+// nanoseconds", i.e. cheap enough to stay compiled into release builds.
+void measure_failpoint_overhead(bench::BenchReport& report) {
+  static common::Failpoint fp("bench.disabled");
+  constexpr std::size_t kIters = 10'000'000;
+  std::size_t fired = 0;
+  bench::Stopwatch timer;
+  for (std::size_t i = 0; i < kIters; ++i)
+    if (fp.evaluate()) ++fired;
+  const double ns = timer.seconds() * 1e9 / static_cast<double>(kIters);
+  DEEPCSI_CHECK(fired == 0);  // unarmed — and keeps the loop observable
+  std::printf("disabled failpoint check: %.2f ns/call\n", ns);
+  report.add_metric("net_failpoint_disabled_overhead_ns", ns, "ns");
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main() {
@@ -228,6 +249,8 @@ int main() {
 
   const bool parity =
       verdicts_match_offline(auth, stream, single_conn_verdicts, report);
+
+  measure_failpoint_overhead(report);
 
   report.write_json();
   return parity ? 0 : 1;

@@ -1,0 +1,57 @@
+#include "common/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <stdexcept>
+#include <unistd.h>
+
+namespace deepcsi::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) fail("open", tmp);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t w = ::write(fd, p + written, size - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      fail("write", tmp);
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  // fsync before rename: otherwise the rename can hit the disk before
+  // the data does, and a crash leaves a complete-looking empty file.
+  if (::fsync(fd) < 0 || ::close(fd) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("fsync", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("rename", path);
+  }
+}
+
+}  // namespace deepcsi::common

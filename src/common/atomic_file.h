@@ -1,0 +1,31 @@
+// Crash-safe file replacement: write to <path>.tmp.<pid>, fsync, then
+// rename(2) over the destination. A reader (or a restarting server)
+// either sees the complete old file or the complete new file — never a
+// torn half-write. Used for the session snapshot, saved model weights,
+// the .meta sidecar, and --port-file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepcsi::common {
+
+// Atomically replaces `path` with `data`. Throws std::runtime_error
+// (with the errno text) if the temp file cannot be written, synced, or
+// renamed; the destination is untouched on failure and the temp file is
+// cleaned up.
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size);
+
+inline void write_file_atomic(const std::string& path,
+                              const std::vector<std::uint8_t>& data) {
+  write_file_atomic(path, data.data(), data.size());
+}
+
+inline void write_file_atomic(const std::string& path,
+                              const std::string& text) {
+  write_file_atomic(path, text.data(), text.size());
+}
+
+}  // namespace deepcsi::common

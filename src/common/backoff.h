@@ -1,0 +1,51 @@
+// Capped exponential backoff with deterministic jitter.
+//
+// Reconnect loops (NetClient resend, VerdictSubscriber resubscribe) need
+// delays that grow fast enough to stop hammering a dead peer, stay
+// bounded so recovery after a restart is prompt, and de-synchronize a
+// fleet of clients so they do not stampede the listener the instant it
+// comes back. The jitter is drawn from a seeded splitmix64 stream, not
+// the wall clock, so a chaos run replays the exact same retry schedule.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace deepcsi::common {
+
+class Backoff {
+ public:
+  // Delay k is min(base * 2^k, cap) plus jitter in [0, that/2].
+  Backoff(std::chrono::milliseconds base, std::chrono::milliseconds cap,
+          std::uint64_t seed)
+      : base_(base.count() < 1 ? 1 : base.count()),
+        cap_(std::max(cap.count(), base_)),
+        seed_(seed) {}
+
+  std::chrono::milliseconds next() {
+    std::int64_t d = base_;
+    for (int i = 0; i < attempt_ && d < cap_; ++i) d *= 2;
+    d = std::min(d, cap_);
+    const std::uint64_t draw = mix64(seed_ + static_cast<std::uint64_t>(attempt_));
+    ++attempt_;
+    const std::int64_t jitter =
+        static_cast<std::int64_t>(draw % static_cast<std::uint64_t>(d / 2 + 1));
+    return std::chrono::milliseconds(d + jitter);
+  }
+
+  // Back to the first-attempt delay (call after a successful reconnect).
+  void reset() { attempt_ = 0; }
+
+  int attempts() const { return attempt_; }
+
+ private:
+  std::int64_t base_;
+  std::int64_t cap_;
+  std::uint64_t seed_;
+  int attempt_ = 0;
+};
+
+}  // namespace deepcsi::common

@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// guards on persisted state. Table-driven, computed once at first use.
+// This is a corruption detector for the session snapshot (a torn or
+// bit-flipped file must be refused, never half-loaded), not a
+// cryptographic MAC.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace deepcsi::common {
+
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace deepcsi::common

@@ -1,0 +1,256 @@
+#include "common/failpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace deepcsi::common {
+
+namespace failpoint_detail {
+
+struct State {
+  explicit State(std::string site_name) : name(std::move(site_name)) {}
+
+  const std::string name;
+  std::atomic<bool> armed{false};
+  std::atomic<std::uint64_t> evals{0};  // evaluations while armed
+  std::atomic<std::uint64_t> fires{0};
+
+  std::mutex mu;  // guards the action config + generator below
+  FailKind kind = FailKind::kErr;
+  int err = 0;
+  double p = 1.0;
+  std::uint64_t remaining = UINT64_MAX;  // fires left before auto-disarm
+  std::uint64_t skip = 0;                // evaluations to pass through first
+  std::uint64_t rng = 0;                 // splitmix64 counter stream
+  std::uint64_t rng_ctr = 0;
+};
+
+}  // namespace failpoint_detail
+
+namespace {
+
+using failpoint_detail::State;
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<State>> sites;
+
+  std::shared_ptr<State> get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = sites[name];
+    if (!slot) slot = std::make_shared<State>(name);
+    return slot;
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: sites outlive static dtors
+  return *r;
+}
+
+// Deterministic uniform double in [0, 1) from a seeded counter stream.
+double next_uniform(State& s) {
+  const std::uint64_t bits = mix64(s.rng + s.rng_ctr++);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+int errno_from_name(const std::string& name) {
+  static const std::map<std::string, int> table = {
+      {"EAGAIN", EAGAIN},         {"EWOULDBLOCK", EWOULDBLOCK},
+      {"ECONNRESET", ECONNRESET}, {"ECONNREFUSED", ECONNREFUSED},
+      {"EPIPE", EPIPE},           {"EINTR", EINTR},
+      {"EMFILE", EMFILE},         {"ENFILE", ENFILE},
+      {"ENOBUFS", ENOBUFS},       {"ENOMEM", ENOMEM},
+      {"ETIMEDOUT", ETIMEDOUT},   {"EIO", EIO},
+      {"ENETDOWN", ENETDOWN},     {"EHOSTUNREACH", EHOSTUNREACH},
+  };
+  const auto it = table.find(name);
+  if (it == table.end())
+    throw std::invalid_argument("failpoint: unknown errno name '" + name + "'");
+  return it->second;
+}
+
+[[noreturn]] void bad_action(const std::string& action, const char* why) {
+  throw std::invalid_argument("failpoint: bad action '" + action + "': " + why);
+}
+
+// Parses "kind(arg,arg,...)" into a fully-initialized site config.
+void parse_action_into(State& s, const std::string& action) {
+  const std::size_t open = action.find('(');
+  if (open == std::string::npos || action.back() != ')')
+    bad_action(action, "expected kind(args)");
+  const std::string kind = action.substr(0, open);
+  if (kind == "err") {
+    s.kind = FailKind::kErr;
+  } else if (kind == "reject") {
+    s.kind = FailKind::kReject;
+  } else if (kind == "short") {
+    s.kind = FailKind::kShort;
+  } else {
+    bad_action(action, "unknown kind (want err/reject/short)");
+  }
+  s.err = 0;
+  s.p = 1.0;
+  s.remaining = UINT64_MAX;
+  s.skip = 0;
+  s.rng = mix64(std::hash<std::string>{}(s.name));
+  s.rng_ctr = 0;
+
+  std::string args = action.substr(open + 1, action.size() - open - 2);
+  while (!args.empty()) {
+    const std::size_t comma = args.find(',');
+    const std::string arg = args.substr(0, comma);
+    args = comma == std::string::npos ? "" : args.substr(comma + 1);
+    if (arg.empty()) bad_action(action, "empty argument");
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      // Bare argument: the errno name for err().
+      if (s.kind != FailKind::kErr)
+        bad_action(action, "only err() takes an errno name");
+      s.err = errno_from_name(arg);
+      continue;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    try {
+      std::size_t consumed = 0;
+      if (key == "p") {
+        s.p = std::stod(value, &consumed);
+        if (consumed != value.size() || s.p < 0.0 || s.p > 1.0)
+          bad_action(action, "p must be in [0, 1]");
+      } else if (key == "n") {
+        s.remaining = std::stoull(value, &consumed);
+        if (consumed != value.size()) bad_action(action, "bad n");
+      } else if (key == "skip") {
+        s.skip = std::stoull(value, &consumed);
+        if (consumed != value.size()) bad_action(action, "bad skip");
+      } else if (key == "seed") {
+        s.rng = mix64(std::stoull(value, &consumed));
+        if (consumed != value.size()) bad_action(action, "bad seed");
+      } else {
+        bad_action(action, "unknown parameter");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      bad_action(action, "malformed numeric value");
+    }
+  }
+  if (s.kind == FailKind::kErr && s.err == 0)
+    bad_action(action, "err() needs an errno name");
+}
+
+// Loads DEEPCSI_FAILPOINTS exactly once, before the first site evaluates.
+// A malformed env spec is a usage error (same contract as DEEPCSI_SIMD):
+// diagnostic + exit 2, never a silently inert chaos drill.
+void ensure_env_loaded() {
+  static const bool loaded = [] {
+    const char* spec = std::getenv("DEEPCSI_FAILPOINTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      try {
+        failpoints::configure_spec(spec, "DEEPCSI_FAILPOINTS");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
+    }
+    return true;
+  }();
+  (void)loaded;
+}
+
+}  // namespace
+
+namespace failpoint_detail {
+
+std::shared_ptr<State> acquire(const std::string& name) {
+  ensure_env_loaded();
+  return registry().get(name);
+}
+
+const std::atomic<bool>& armed_flag(const State& state) {
+  return state.armed;
+}
+
+std::optional<FailpointFire> evaluate_slow(State& s) {
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.armed.load(std::memory_order_relaxed)) return std::nullopt;
+  s.evals.fetch_add(1, std::memory_order_relaxed);
+  if (s.skip > 0) {
+    --s.skip;
+    return std::nullopt;
+  }
+  if (s.p < 1.0 && next_uniform(s) >= s.p) return std::nullopt;
+  if (s.remaining == 0) return std::nullopt;
+  if (s.remaining != UINT64_MAX && --s.remaining == 0)
+    s.armed.store(false, std::memory_order_relaxed);
+  s.fires.fetch_add(1, std::memory_order_relaxed);
+  return FailpointFire{s.kind, s.err};
+}
+
+}  // namespace failpoint_detail
+
+namespace failpoints {
+
+void configure(const std::string& site, const std::string& action) {
+  if (site.empty())
+    throw std::invalid_argument("failpoint: empty site name");
+  const std::shared_ptr<State> s = registry().get(site);
+  std::lock_guard<std::mutex> lock(s->mu);
+  parse_action_into(*s, action);
+  s->armed.store(true, std::memory_order_relaxed);
+}
+
+void configure_spec(const std::string& spec, const std::string& source) {
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string entry = rest.substr(0, semi);
+    rest = semi == std::string::npos ? "" : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument(source + ": bad failpoint entry '" + entry +
+                                  "' (want site=action)");
+    configure(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+}
+
+void clear(const std::string& site) {
+  const std::shared_ptr<State> s = registry().get(site);
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->armed.store(false, std::memory_order_relaxed);
+}
+
+void clear_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, s] : r.sites)
+    s->armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t fire_count(const std::string& site) {
+  return registry().get(site)->fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t evaluation_count(const std::string& site) {
+  return registry().get(site)->evals.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> known_sites() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.sites.size());
+  for (const auto& [name, s] : r.sites) names.push_back(name);
+  return names;
+}
+
+}  // namespace failpoints
+}  // namespace deepcsi::common

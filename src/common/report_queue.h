@@ -20,12 +20,15 @@
 // exact policy semantics.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace deepcsi::common {
 
@@ -105,6 +108,21 @@ class ReportQueue {
   // caller can hold it and retry once the consumer makes room. Drop and
   // reject accounting matches push().
   PushStatus try_push(T& item) {
+    // Failpoint "queue.push": err(EAGAIN) simulates a momentarily full
+    // queue (kWouldBlock — the front end parks the report and retries,
+    // lossless), any other action simulates admission refusal
+    // (kRejected — counted as shed load). Lets the chaos suite provoke
+    // both backpressure paths without actually filling the queue.
+    static Failpoint fp("queue.push");
+    if (const auto fire = fp.evaluate()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (fire->kind == FailKind::kErr && fire->err == EAGAIN) {
+        ++stats_.would_block;
+        return PushStatus::kWouldBlock;
+      }
+      ++stats_.rejected;
+      return PushStatus::kRejected;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) {
       ++stats_.rejected;

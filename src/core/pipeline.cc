@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/parallel.h"
 #include "dataset/scale.h"
@@ -158,12 +159,12 @@ void Authenticator::load(const std::string& path) {
 
 void save_model_meta(const std::string& weights_path,
                      const std::map<std::string, int>& meta) {
-  const std::string path = weights_path + ".meta";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  DEEPCSI_CHECK(f != nullptr);
+  std::string text;
   for (const auto& [key, value] : meta)
-    std::fprintf(f, "%s=%d\n", key.c_str(), value);
-  std::fclose(f);
+    text += key + "=" + std::to_string(value) + "\n";
+  // tmp + rename, matching save_weights: the sidecar and the weights may
+  // be re-read by a racing or restarting server at any moment.
+  common::write_file_atomic(weights_path + ".meta", text);
 }
 
 std::map<std::string, int> load_model_meta(const std::string& weights_path) {

@@ -2,9 +2,11 @@
 
 #include <cerrno>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 #include <utility>
 
+#include "common/backoff.h"
 #include "net/socket.h"
 
 namespace deepcsi::net {
@@ -12,6 +14,8 @@ namespace deepcsi::net {
 NetClient NetClient::connect(const std::string& host, std::uint16_t port,
                              std::chrono::milliseconds timeout) {
   NetClient c;
+  c.host_ = host;
+  c.port_ = port;
   c.fd_ = connect_tcp(host, port, timeout);
   return c;
 }
@@ -19,12 +23,20 @@ NetClient NetClient::connect(const std::string& host, std::uint16_t port,
 NetClient::~NetClient() { close(); }
 
 NetClient::NetClient(NetClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      reconnect_(other.reconnect_),
+      reconnects_(other.reconnects_) {}
 
 NetClient& NetClient::operator=(NetClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    reconnect_ = other.reconnect_;
+    reconnects_ = other.reconnects_;
   }
   return *this;
 }
@@ -32,7 +44,31 @@ NetClient& NetClient::operator=(NetClient&& other) noexcept {
 bool NetClient::send_report(const capture::ObservedFeedback& obs) {
   if (fd_ < 0) return false;
   const std::vector<std::uint8_t> frame = encode_report_frame(obs);
-  return write_all(fd_, frame.data(), frame.size());
+  if (write_all(fd_, frame.data(), frame.size())) return true;
+  // A failed write_all never completed the frame, so the server will
+  // discard the partial bytes at EOF — resending the whole frame after a
+  // redial delivers it exactly once.
+  while (redial())
+    if (write_all(fd_, frame.data(), frame.size())) return true;
+  return false;
+}
+
+bool NetClient::redial() {
+  close();
+  if (reconnect_.attempts <= 0) return false;
+  common::Backoff backoff(reconnect_.backoff_base, reconnect_.backoff_cap,
+                          reconnect_.jitter_seed);
+  for (int i = 0; i < reconnect_.attempts; ++i) {
+    std::this_thread::sleep_for(backoff.next());
+    try {
+      fd_ = connect_tcp(host_, port_, reconnect_.dial_timeout);
+      ++reconnects_;
+      return true;
+    } catch (const std::exception&) {
+      // Listener still down; keep backing off.
+    }
+  }
+  return false;
 }
 
 bool NetClient::send_bytes(std::span<const std::uint8_t> data) {
@@ -49,6 +85,8 @@ VerdictSubscriber VerdictSubscriber::connect(
     const std::string& host, std::uint16_t port,
     std::chrono::milliseconds timeout) {
   VerdictSubscriber s;
+  s.host_ = host;
+  s.port_ = port;
   s.fd_ = connect_tcp(host, port, timeout);
   return s;
 }
@@ -57,6 +95,8 @@ VerdictSubscriber::~VerdictSubscriber() { close(); }
 
 VerdictSubscriber::VerdictSubscriber(VerdictSubscriber&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
       assembler_(std::move(other.assembler_)) {}
 
 VerdictSubscriber& VerdictSubscriber::operator=(
@@ -64,6 +104,8 @@ VerdictSubscriber& VerdictSubscriber::operator=(
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
     assembler_ = std::move(other.assembler_);
   }
   return *this;
@@ -76,14 +118,35 @@ std::optional<FrameAssembler::Frame> VerdictSubscriber::next_frame() {
     if (assembler_.next(frame)) return frame;
     if (assembler_.error() != FrameAssembler::Error::kNone) return std::nullopt;
     std::uint8_t buf[16384];
-    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    const ssize_t r = sys_recv(fd_, buf, sizeof(buf), 0);
     if (r > 0) {
       assembler_.append(buf, static_cast<std::size_t>(r));
       continue;
     }
     if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::this_thread::yield();  // injected storm or receive timeout
+      continue;
+    }
     return std::nullopt;  // EOF or hard error: the stream is over
   }
+}
+
+bool VerdictSubscriber::reconnect(const ReconnectPolicy& policy) {
+  close();
+  assembler_ = FrameAssembler();  // drop any half-received frame
+  common::Backoff backoff(policy.backoff_base, policy.backoff_cap,
+                          policy.jitter_seed);
+  const int attempts = policy.attempts > 0 ? policy.attempts : 1;
+  for (int i = 0; i < attempts; ++i) {
+    std::this_thread::sleep_for(backoff.next());
+    try {
+      fd_ = connect_tcp(host_, port_, policy.dial_timeout);
+      return true;
+    } catch (const std::exception&) {
+    }
+  }
+  return false;
 }
 
 void VerdictSubscriber::close() {

@@ -43,6 +43,14 @@ void TcpIngestServer::wait_until_idle() {
   });
 }
 
+bool TcpIngestServer::wait_until_idle_for(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, interval, [&] {
+    return stopping_ ||
+           (stats_.conns_accepted > 0 && stats_.conns_open == 0);
+  });
+}
+
 void TcpIngestServer::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -67,12 +75,18 @@ IngestStats TcpIngestServer::stats() const {
 
 void TcpIngestServer::on_accept(std::uint32_t) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = sys_accept(listen_fd_, nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
       return;  // transient accept failure; the listener stays armed
+    }
+    if (cfg_.accept_gate && !cfg_.accept_gate()) {
+      close_fd(fd);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.conns_shed;
+      continue;
     }
     if (conns_.size() >= cfg_.max_conns) {
       close_fd(fd);
@@ -104,7 +118,7 @@ void TcpIngestServer::on_readable(Conn& conn, std::uint32_t events) {
   }
   std::uint8_t buf[16384];
   for (;;) {
-    const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
+    const ssize_t r = sys_recv(conn.fd, buf, sizeof(buf), 0);
     if (r > 0) {
       conn.assembler.append(buf, static_cast<std::size_t>(r));
       if (!drain_frames(conn)) return;  // paused — stop reading this fd

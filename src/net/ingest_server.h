@@ -29,6 +29,7 @@
 // skipped — one bad frame does not kill a good sender.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -50,11 +51,18 @@ struct IngestConfig {
   std::string bind_addr = "127.0.0.1";
   std::size_t max_conns = 64;     // excess connections are closed on accept
   int retry_interval_ms = 1;      // paused-connection resubmit cadence
+  // Load-shedding hook, polled on every accept. Returning false refuses
+  // the new connection (closed immediately, counted as conns_shed) while
+  // established streams keep flowing — the degradation ladder sacrifices
+  // NEW work first. Called on the loop thread; must be cheap and must
+  // not block.
+  std::function<bool()> accept_gate;
 };
 
 struct IngestStats {
   std::uint64_t conns_accepted = 0;
   std::uint64_t conns_rejected = 0;   // over max_conns, closed on accept
+  std::uint64_t conns_shed = 0;       // refused by the accept_gate
   std::uint64_t conns_open = 0;
   std::uint64_t frames = 0;           // complete frames reassembled
   std::uint64_t reports_submitted = 0;
@@ -86,6 +94,11 @@ class TcpIngestServer {
   // connection has closed again — the `serve --once` termination rule —
   // or until stop() is called from elsewhere.
   void wait_until_idle();
+
+  // As wait_until_idle(), but returns after `interval` so the caller can
+  // interleave other work (signal checks, periodic snapshots) with the
+  // once-mode wait. Returns true when the idle condition held.
+  bool wait_until_idle_for(std::chrono::milliseconds interval);
 
   // Stops the loop, closes all sockets, joins. Idempotent.
   void stop();

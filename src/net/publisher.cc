@@ -167,8 +167,8 @@ void VerdictPublisher::on_subscriber_event(int fd, std::uint32_t events) {
 
 void VerdictPublisher::flush_sub_locked(Sub& sub) {
   while (sub.off < sub.buf.size()) {
-    const ssize_t w = ::send(sub.fd, sub.buf.data() + sub.off,
-                             sub.buf.size() - sub.off, MSG_NOSIGNAL);
+    const ssize_t w = sys_send(sub.fd, sub.buf.data() + sub.off,
+                               sub.buf.size() - sub.off, MSG_NOSIGNAL);
     if (w > 0) {
       sub.off += static_cast<std::size_t>(w);
       stats_.bytes_sent += static_cast<std::uint64_t>(w);

@@ -11,9 +11,31 @@
 #include <thread>
 #include <unistd.h>
 
+#include "common/failpoint.h"
+
 namespace deepcsi::net {
 
 namespace {
+
+// Applies a fired failpoint to an I/O-shaped syscall: kErr synthesizes
+// the errno without touching the socket, kShort clamps the transfer to
+// one byte (the real syscall still runs). Returns true when the caller
+// should return -1 immediately.
+bool apply_io_fire(const std::optional<common::FailpointFire>& fire,
+                   std::size_t& n) {
+  if (!fire) return false;
+  switch (fire->kind) {
+    case common::FailKind::kErr:
+      errno = fire->err;
+      return true;
+    case common::FailKind::kShort:
+      if (n > 1) n = 1;
+      return false;
+    case common::FailKind::kReject:
+      break;  // meaningless on a syscall site: pass through
+  }
+  return false;
+}
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
@@ -29,6 +51,40 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
 }
 
 }  // namespace
+
+ssize_t sys_recv(int fd, void* buf, std::size_t n, int flags) {
+  static common::Failpoint fp("net.recv");
+  if (apply_io_fire(fp.evaluate(), n)) return -1;
+  return ::recv(fd, buf, n, flags);
+}
+
+ssize_t sys_send(int fd, const void* buf, std::size_t n, int flags) {
+  static common::Failpoint fp("net.send");
+  if (apply_io_fire(fp.evaluate(), n)) return -1;
+  return ::send(fd, buf, n, flags);
+}
+
+int sys_accept(int fd, sockaddr* addr, socklen_t* len, int flags) {
+  static common::Failpoint fp("net.accept");
+  if (const auto fire = fp.evaluate();
+      fire && fire->kind == common::FailKind::kErr) {
+    // The pending connection stays in the kernel backlog — a later
+    // accept picks it up, so an injected EMFILE burst is lossless.
+    errno = fire->err;
+    return -1;
+  }
+  return ::accept4(fd, addr, len, flags);
+}
+
+int sys_connect(int fd, const sockaddr* addr, socklen_t len) {
+  static common::Failpoint fp("net.connect");
+  if (const auto fire = fp.evaluate();
+      fire && fire->kind == common::FailKind::kErr) {
+    errno = fire->err;
+    return -1;
+  }
+  return ::connect(fd, addr, len);
+}
 
 int listen_tcp(std::uint16_t port, const std::string& bind_addr, int backlog) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -67,8 +123,8 @@ int connect_tcp(const std::string& host, std::uint16_t port,
   for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) throw_errno("socket");
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
+    if (sys_connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return fd;
@@ -94,12 +150,16 @@ void set_nonblocking(int fd, bool nonblocking) {
 bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    const ssize_t w = sys_send(fd, data + sent, n - sent, MSG_NOSIGNAL);
     if (w > 0) {
       sent += static_cast<std::size_t>(w);
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::this_thread::yield();  // injected storm or send timeout
+      continue;
+    }
     return false;  // peer closed (EPIPE / ECONNRESET) or hard error
   }
   return true;

@@ -7,8 +7,24 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <sys/socket.h>
+#include <sys/types.h>
 
 namespace deepcsi::net {
+
+// Failpoint-injectable syscall shims. Every socket syscall on the data
+// path goes through one of these so the chaos suite can synthesize
+// resets, EAGAIN storms, partial transfers, and accept failures
+// deterministically (sites net.recv / net.send / net.accept /
+// net.connect — see common/failpoint.h for the spec grammar). Semantics
+// when a site fires: err(E) returns -1 with errno=E *instead of* the
+// syscall (an injected send error therefore never leaves a partial
+// frame on the wire); short() clamps a recv/send to a single byte but
+// performs the real transfer. Unarmed cost is one relaxed atomic load.
+ssize_t sys_recv(int fd, void* buf, std::size_t n, int flags);
+ssize_t sys_send(int fd, const void* buf, std::size_t n, int flags);
+int sys_accept(int fd, sockaddr* addr, socklen_t* len, int flags);
+int sys_connect(int fd, const sockaddr* addr, socklen_t len);
 
 // Creates a non-blocking listening socket bound to `bind_addr:port`
 // (port 0 picks an ephemeral port; read it back with local_port).
@@ -27,8 +43,9 @@ int connect_tcp(const std::string& host, std::uint16_t port,
 
 void set_nonblocking(int fd, bool nonblocking);
 
-// Writes the whole buffer on a blocking socket (resumes partial writes
-// and EINTR). Returns false once the peer has gone away (EPIPE/RESET).
+// Writes the whole buffer on a blocking socket (resumes partial writes,
+// EINTR, and transient EAGAIN — injected storms or SO_SNDTIMEO).
+// Returns false once the peer has gone away (EPIPE/RESET).
 bool write_all(int fd, const std::uint8_t* data, std::size_t n);
 
 void close_fd(int fd);

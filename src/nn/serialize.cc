@@ -4,6 +4,9 @@
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <vector>
+
+#include "common/atomic_file.h"
 
 namespace deepcsi::nn {
 namespace {
@@ -18,9 +21,10 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-void write_bytes(std::FILE* f, const void* p, std::size_t n) {
-  if (std::fwrite(p, 1, n, f) != n)
-    throw std::runtime_error("weight file: short write");
+void append_bytes(std::vector<std::uint8_t>& out, const void* p,
+                  std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), bytes, bytes + n);
 }
 
 void read_bytes(std::FILE* f, void* p, std::size_t n) {
@@ -31,22 +35,25 @@ void read_bytes(std::FILE* f, void* p, std::size_t n) {
 }  // namespace
 
 void save_weights(const Sequential& model, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("cannot write weights: " + path);
-  write_bytes(f.get(), kMagic, 4);
-  write_bytes(f.get(), &kVersion, 4);
+  // Serialize in memory, land on disk via tmp + rename: a crash mid-save
+  // leaves the previous weights intact, never a torn file a restarting
+  // server would choke on.
+  std::vector<std::uint8_t> buf;
+  append_bytes(buf, kMagic, 4);
+  append_bytes(buf, &kVersion, 4);
   const auto params = model.params();
   const std::uint32_t count = static_cast<std::uint32_t>(params.size());
-  write_bytes(f.get(), &count, 4);
+  append_bytes(buf, &count, 4);
   for (const Param* p : params) {
     const std::uint32_t rank = static_cast<std::uint32_t>(p->value.rank());
-    write_bytes(f.get(), &rank, 4);
+    append_bytes(buf, &rank, 4);
     for (std::size_t d = 0; d < rank; ++d) {
       const std::uint64_t dim = p->value.dim(d);
-      write_bytes(f.get(), &dim, 8);
+      append_bytes(buf, &dim, 8);
     }
-    write_bytes(f.get(), p->value.data(), p->value.numel() * sizeof(float));
+    append_bytes(buf, p->value.data(), p->value.numel() * sizeof(float));
   }
+  common::write_file_atomic(path, buf);
 }
 
 void load_weights(Sequential& model, const std::string& path) {

@@ -85,9 +85,14 @@ class BatchingScheduler {
   BatchingScheduler& operator=(const BatchingScheduler&) = delete;
 
   void start() {
+    const auto now = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < lanes_.size(); ++i) {
       Lane& lane = *lanes_[i];
       DEEPCSI_CHECK(!lane.thread.joinable());
+      {
+        std::lock_guard<std::mutex> lock(lane.mu);
+        lane.last_progress = now;
+      }
       lane.thread = std::thread([this, &lane, i] { run(lane, i); });
     }
   }
@@ -124,6 +129,18 @@ class BatchingScheduler {
     return lane.stats;
   }
 
+  // When lane i last made visible progress (thread started or a batch
+  // flushed through the sink). The watchdog combines this with the
+  // lane's queue depth: work waiting + no progress for longer than the
+  // stall threshold means the lane is wedged (sink stuck, deadlock),
+  // not merely idle.
+  std::chrono::steady_clock::time_point lane_last_progress(
+      std::size_t i) const {
+    const Lane& lane = *lanes_.at(i);
+    std::lock_guard<std::mutex> lock(lane.mu);
+    return lane.last_progress;
+  }
+
  private:
   struct Lane {
     explicit Lane(common::ReportQueue<T>* q) : queue(q) {}
@@ -131,6 +148,7 @@ class BatchingScheduler {
     std::thread thread;
     mutable std::mutex mu;
     SchedulerStats stats;
+    std::chrono::steady_clock::time_point last_progress{};
   };
 
   void run(Lane& lane, std::size_t index) {
@@ -162,6 +180,7 @@ class BatchingScheduler {
     const std::size_t n = batch.size();
     sink_(std::move(batch), reason, index);
     std::lock_guard<std::mutex> lock(lane.mu);
+    lane.last_progress = std::chrono::steady_clock::now();
     ++lane.stats.batches;
     lane.stats.items += n;
     if (n > lane.stats.max_batch_seen) lane.stats.max_batch_seen = n;

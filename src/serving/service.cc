@@ -168,7 +168,32 @@ LaneStats AuthService::lane_stats(std::size_t lane) const {
   LaneStats s;
   s.queue = queues_.at(lane)->stats();
   s.scheduler = scheduler_.lane_stats(lane);
+  s.since_progress_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scheduler_.lane_last_progress(lane))
+          .count();
+  // Stalled = work waiting AND no flush for the stall threshold. An idle
+  // lane (empty queue) is never stalled, however long it sleeps.
+  s.stalled =
+      s.queue.depth > 0 &&
+      s.since_progress_s >
+          std::chrono::duration<double>(cfg_.watchdog_stall).count();
   return s;
+}
+
+std::size_t AuthService::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue->stats().depth;
+  return depth;
+}
+
+void AuthService::save_sessions(const std::string& path) const {
+  sessions_.save_snapshot(path);
+}
+
+SessionTable::RestoreStatus AuthService::restore_sessions(
+    const std::string& path, std::string* error) {
+  return sessions_.restore_snapshot(path, error);
 }
 
 ServiceStats AuthService::stats() const {
@@ -185,6 +210,8 @@ ServiceStats AuthService::stats() const {
   }
   s.scheduler = scheduler_.stats();
   s.consumers = queues_.size();
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    if (lane_stats(i).stalled) ++s.lanes_stalled;
   std::lock_guard<std::mutex> lock(stats_mu_);
   s.reports_classified = reports_classified_;
   if (started_) {

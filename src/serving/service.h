@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "capture/monitor.h"
@@ -46,12 +47,17 @@ struct ServiceConfig {
   // Consumer lanes. Each lane owns a queue, a scheduler thread and an
   // InferenceContext lease; stations are sharded across lanes by MAC.
   std::size_t consumers = 1;
+  // A lane with queued work that has not flushed a batch for this long
+  // is flagged stalled in stats() / lane_stats() — the watchdog signal
+  // the serve stats block surfaces for a wedged consumer.
+  std::chrono::milliseconds watchdog_stall{2000};
 };
 
 struct ServiceStats {
   common::QueueStats queue;  // aggregated over lanes (peak_depth summed)
   SchedulerStats scheduler;  // aggregated over lanes
   std::size_t consumers = 1;
+  std::size_t lanes_stalled = 0;  // watchdog: queued work, no progress
   std::size_t reports_classified = 0;
   double wall_seconds = 0.0;       // start() .. drain() (or "so far")
   double throughput_rps = 0.0;     // reports_classified / wall_seconds
@@ -66,6 +72,8 @@ struct ServiceStats {
 struct LaneStats {
   common::QueueStats queue;
   SchedulerStats scheduler;
+  bool stalled = false;           // queued work, no flush for watchdog_stall
+  double since_progress_s = 0.0;  // seconds since the lane last flushed
 };
 
 // One report waiting for the classifier.
@@ -120,6 +128,20 @@ class AuthService {
   std::size_t num_lanes() const { return queues_.size(); }
   LaneStats lane_stats(std::size_t lane) const;
   const SessionTable& sessions() const { return sessions_; }
+
+  // Total reports currently queued across lanes. Cheap (one short lock
+  // per lane, no latency-ring sorting) — safe to poll from the ingest
+  // accept path for load-shedding decisions.
+  std::size_t queue_depth() const;
+
+  // Crash-safe session persistence (see SessionTable::save_snapshot /
+  // restore_snapshot). save may be called at any time — the snapshot is
+  // a consistent per-station cut (each session serialized under its
+  // shard lock). restore must happen before reports flow or the
+  // restored windows would interleave with live ones mid-stream.
+  void save_sessions(const std::string& path) const;
+  SessionTable::RestoreStatus restore_sessions(const std::string& path,
+                                               std::string* error = nullptr);
 
  private:
   void on_batch(std::vector<PendingReport>&& batch, FlushReason reason,

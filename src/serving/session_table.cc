@@ -1,8 +1,12 @@
 #include "serving/session_table.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/hash.h"
 
 namespace deepcsi::serving {
@@ -107,6 +111,139 @@ std::vector<StationVerdict> SessionTable::snapshot() const {
               return a.station < b.station;
             });
   return out;
+}
+
+namespace {
+
+// Snapshot wire format (little-endian, the only byte order this code
+// base targets): magic "DCSS", u32 version, u64 window, u64 stations,
+// then per station {u64 mac, u64 total_reports, f64 last_timestamp_s,
+// f64 confidence_sum, u64 window_len, window_len x {i32 module, f64
+// confidence}}, then u32 CRC-32 over everything before it.
+constexpr std::uint32_t kSnapshotMagic = 0x53534344u;  // "DCSS"
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+bool get(const std::vector<std::uint8_t>& in, std::size_t& off, T& value) {
+  if (in.size() - off < sizeof(T)) return false;
+  std::memcpy(&value, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void SessionTable::save_snapshot(const std::string& path) const {
+  std::vector<std::uint8_t> buf;
+  put(buf, kSnapshotMagic);
+  put(buf, kSnapshotVersion);
+  put(buf, static_cast<std::uint64_t>(cfg_.window));
+  const std::size_t count_at = buf.size();
+  put(buf, std::uint64_t{0});  // station count, patched below
+  std::uint64_t stations = 0;
+  for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, s] : shard.sessions) {
+      put(buf, key);
+      put(buf, static_cast<std::uint64_t>(s.total_reports));
+      put(buf, s.last_timestamp_s);
+      put(buf, s.confidence_sum);
+      put(buf, static_cast<std::uint64_t>(s.window.size()));
+      for (const auto& [module, conf] : s.window) {
+        put(buf, static_cast<std::int32_t>(module));
+        put(buf, conf);
+      }
+      ++stations;
+    }
+  }
+  std::memcpy(buf.data() + count_at, &stations, sizeof(stations));
+  put(buf, common::crc32(buf.data(), buf.size()));
+  common::write_file_atomic(path, buf);
+}
+
+SessionTable::RestoreStatus SessionTable::restore_snapshot(
+    const std::string& path, std::string* error) {
+  const auto corrupt = [&](const std::string& why) {
+    if (error) *error = "session snapshot " + path + ": " + why;
+    return RestoreStatus::kCorrupt;
+  };
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (error) *error = "session snapshot " + path + ": no such file";
+    return RestoreStatus::kNoFile;
+  }
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const std::size_t r = std::fread(chunk, 1, sizeof(chunk), f);
+    buf.insert(buf.end(), chunk, chunk + r);
+    if (r < sizeof(chunk)) break;
+  }
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) return corrupt("read error");
+  if (buf.size() < sizeof(std::uint32_t)) return corrupt("truncated");
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  buf.resize(buf.size() - sizeof(stored_crc));
+  if (common::crc32(buf.data(), buf.size()) != stored_crc)
+    return corrupt("CRC mismatch (torn or corrupted file)");
+  std::size_t off = 0;
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t window = 0, stations = 0;
+  if (!get(buf, off, magic) || magic != kSnapshotMagic)
+    return corrupt("bad magic");
+  if (!get(buf, off, version) || version != kSnapshotVersion)
+    return corrupt("unsupported version " + std::to_string(version));
+  if (!get(buf, off, window) || !get(buf, off, stations))
+    return corrupt("truncated header");
+  if (window != cfg_.window)
+    return corrupt("window " + std::to_string(window) +
+                   " does not match configured window " +
+                   std::to_string(cfg_.window));
+  // Parse into a staging map first so a truncated body leaves the live
+  // table untouched.
+  std::vector<std::pair<std::uint64_t, Session>> staged;
+  staged.reserve(stations);
+  for (std::uint64_t i = 0; i < stations; ++i) {
+    std::uint64_t key = 0, total = 0, wlen = 0;
+    Session s;
+    if (!get(buf, off, key) || !get(buf, off, total) ||
+        !get(buf, off, s.last_timestamp_s) ||
+        !get(buf, off, s.confidence_sum) || !get(buf, off, wlen))
+      return corrupt("truncated station record");
+    if (wlen > window) return corrupt("window overflow in station record");
+    s.total_reports = total;
+    for (std::uint64_t j = 0; j < wlen; ++j) {
+      std::int32_t module = 0;
+      double conf = 0.0;
+      if (!get(buf, off, module) || !get(buf, off, conf))
+        return corrupt("truncated window entry");
+      s.window.emplace_back(module, conf);
+      ++s.counts[module];  // vote counts are derived, not stored
+    }
+    staged.emplace_back(key, std::move(s));
+  }
+  if (off != buf.size()) return corrupt("trailing bytes");
+  for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].sessions.clear();
+  }
+  for (auto& [key, session] : staged) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.sessions[key] = std::move(session);
+  }
+  return RestoreStatus::kRestored;
 }
 
 std::size_t SessionTable::num_stations() const {

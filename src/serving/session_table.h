@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,22 @@ class SessionTable {
 
   // All stations, sorted by MAC for deterministic reporting.
   std::vector<StationVerdict> snapshot() const;
+
+  // Crash-safe persistence. save_snapshot serializes every session —
+  // window contents, vote-window confidence sum (stored bit-for-bit so a
+  // restored table's mean_confidence is exactly what a never-restarted
+  // process would report), lifetime counters — into a versioned,
+  // CRC-32-guarded binary image written via tmp + rename (readers and a
+  // restarting server never see a torn file). Throws std::runtime_error
+  // on I/O failure. restore_snapshot loads one into THIS table
+  // (pre-existing sessions are replaced); a missing file is a cold
+  // start (kNoFile), any damage — bad magic/version, truncated, CRC
+  // mismatch, window-size mismatch with this table's config — refuses
+  // the whole file (kCorrupt + diagnostic in *error), never half-loads.
+  enum class RestoreStatus { kRestored, kNoFile, kCorrupt };
+  void save_snapshot(const std::string& path) const;
+  RestoreStatus restore_snapshot(const std::string& path,
+                                 std::string* error = nullptr);
 
   std::size_t num_stations() const;
   const SessionConfig& config() const { return cfg_; }

@@ -1,0 +1,163 @@
+// Failpoint registry: spec parsing, deterministic seeded firing, n/skip/p
+// semantics, counters, and the disabled fast path.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace deepcsi {
+namespace {
+
+using common::FailKind;
+using common::Failpoint;
+using common::FailpointFire;
+namespace failpoints = common::failpoints;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoints::clear_all(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires) {
+  Failpoint fp("test.unarmed");
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(fp.evaluate().has_value());
+  EXPECT_EQ(failpoints::evaluation_count("test.unarmed"), 0u);
+  EXPECT_EQ(failpoints::fire_count("test.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrFiresWithConfiguredErrno) {
+  failpoints::configure("test.err", "err(ECONNRESET)");
+  Failpoint fp("test.err");
+  const auto fire = fp.evaluate();
+  ASSERT_TRUE(fire.has_value());
+  EXPECT_EQ(fire->kind, FailKind::kErr);
+  EXPECT_EQ(fire->err, ECONNRESET);
+}
+
+TEST_F(FailpointTest, RejectAndShortKinds) {
+  failpoints::configure("test.reject", "reject()");
+  failpoints::configure("test.short", "short()");
+  Failpoint rej("test.reject");
+  Failpoint sh("test.short");
+  ASSERT_TRUE(rej.evaluate().has_value());
+  EXPECT_EQ(rej.evaluate()->kind, FailKind::kReject);
+  ASSERT_TRUE(sh.evaluate().has_value());
+  EXPECT_EQ(sh.evaluate()->kind, FailKind::kShort);
+}
+
+TEST_F(FailpointTest, NDisarmsAfterExactlyNFires) {
+  failpoints::configure("test.n", "reject(n=3)");
+  Failpoint fp("test.n");
+  int fired = 0;
+  for (int i = 0; i < 100; ++i)
+    if (fp.evaluate()) ++fired;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(failpoints::fire_count("test.n"), 3u);
+  // Site auto-disarmed: later evaluations take the fast path again.
+  EXPECT_EQ(failpoints::evaluation_count("test.n"), 3u);
+}
+
+TEST_F(FailpointTest, SkipPassesThroughFirstKEvaluations) {
+  failpoints::configure("test.skip", "reject(skip=5,n=2)");
+  Failpoint fp("test.skip");
+  std::vector<bool> pattern;
+  for (int i = 0; i < 10; ++i) pattern.push_back(fp.evaluate().has_value());
+  const std::vector<bool> want = {false, false, false, false, false,
+                                  true,  true,  false, false, false};
+  EXPECT_EQ(pattern, want);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    failpoints::clear_all();
+    failpoints::configure("test.p",
+                          "err(EAGAIN,p=0.3,seed=" + std::to_string(seed) + ")");
+    Failpoint fp("test.p");
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) pattern.push_back(fp.evaluate().has_value());
+    return pattern;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a, b);       // same seed, same fire pattern
+  EXPECT_NE(a, c);       // different seed, different pattern
+  int fires = 0;
+  for (const bool f : a) fires += f;
+  EXPECT_GT(fires, 20);  // p=0.3 over 200 draws: loose sanity bounds
+  EXPECT_LT(fires, 120);
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultipleSites) {
+  failpoints::configure_spec(
+      "test.spec1=err(EPIPE,n=1);test.spec2=reject(n=1)", "test");
+  Failpoint a("test.spec1");
+  Failpoint b("test.spec2");
+  ASSERT_TRUE(a.evaluate().has_value());
+  EXPECT_EQ(a.evaluate().has_value(), false);
+  ASSERT_TRUE(b.evaluate().has_value());
+}
+
+TEST_F(FailpointTest, ClearDisarmsButKeepsCounters) {
+  failpoints::configure("test.clear", "reject()");
+  Failpoint fp("test.clear");
+  ASSERT_TRUE(fp.evaluate().has_value());
+  failpoints::clear("test.clear");
+  EXPECT_FALSE(fp.evaluate().has_value());
+  EXPECT_EQ(failpoints::fire_count("test.clear"), 1u);
+}
+
+TEST_F(FailpointTest, ScopedSpecClearsOnDestruction) {
+  {
+    failpoints::ScopedSpec spec("test.scoped=reject()");
+    Failpoint fp("test.scoped");
+    EXPECT_TRUE(fp.evaluate().has_value());
+  }
+  Failpoint fp("test.scoped");
+  EXPECT_FALSE(fp.evaluate().has_value());
+}
+
+TEST_F(FailpointTest, KnownSitesListsConfiguredAndEvaluated) {
+  failpoints::configure("test.known", "reject()");
+  const auto sites = failpoints::known_sites();
+  bool found = false;
+  for (const auto& s : sites) found = found || s == "test.known";
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrow) {
+  const std::vector<std::string> bad = {
+      "noaction",                 // no '='
+      "=reject()",                // empty site
+      "s=explode()",              // unknown kind
+      "s=err()",                  // err needs an errno
+      "s=err(EWHATEVER)",         // unknown errno name
+      "s=reject(ECONNRESET)",     // errno name on non-err
+      "s=reject(p=1.5)",          // p out of range
+      "s=reject(p=abc)",          // malformed number
+      "s=reject(n=)",             // empty value
+      "s=reject(frobnicate=1)",   // unknown parameter
+      "s=reject",                 // missing parens
+  };
+  for (const auto& spec : bad)
+    EXPECT_THROW(failpoints::configure_spec(spec, "test"), std::invalid_argument)
+        << spec;
+}
+
+TEST_F(FailpointTest, ReconfigureOverwritesAction) {
+  failpoints::configure("test.re", "reject(n=1)");
+  Failpoint fp("test.re");
+  ASSERT_TRUE(fp.evaluate().has_value());
+  EXPECT_FALSE(fp.evaluate().has_value());
+  failpoints::configure("test.re", "err(EIO)");
+  const auto fire = fp.evaluate();
+  ASSERT_TRUE(fire.has_value());
+  EXPECT_EQ(fire->err, EIO);
+}
+
+}  // namespace
+}  // namespace deepcsi

@@ -30,6 +30,7 @@
 // The tool works on the same artifacts the examples produce (e.g.
 // examples/dataset_export emits .dcst archives and per-trace pcaps).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -44,6 +45,7 @@
 #include <vector>
 
 #include "capture/monitor.h"
+#include "common/atomic_file.h"
 #include "common/hash.h"
 #include "core/pipeline.h"
 #include "dataset/io.h"
@@ -130,12 +132,17 @@ int usage() {
                "  serve    --model MODEL.bin (--pcap FILE.pcap [--loop N=1] "
                "[--producers P=1] [--rate RPS=0]\n"
                "            | --listen PORT [--publish PORT] [--max-conns N=64] "
-               "[--once 0|1] [--port-file PATH])\n"
+               "[--once 0|1] [--port-file PATH]\n"
+               "              [--state-file PATH] [--state-interval-ms I=1000] "
+               "[--shed-high N] [--shed-low N])\n"
                "           [--batch B=64] [--latency-us L=2000] "
                "[--policy block|drop-oldest|reject] [--queue C=1024] "
-               "[--window W=31] [--consumers K=1]\n"
+               "[--window W=31] [--consumers K=1] [--watchdog-ms W=2000]\n"
                "  drive    --pcap FILE.pcap --connect PORT [--subscribe PORT] "
                "[--host H=127.0.0.1] [--conns N=1]\n"
+               "           [--skip N=0] [--limit N=0] [--reconnect N=0] "
+               "[--reconnect-base-ms B=20] [--reconnect-cap-ms C=1000] "
+               "[--resubscribe N=0]\n"
                "           [--model MODEL.bin] [--window W=31]   "
                "(--model enables offline-parity verification)\n"
                "  inspect  --pcap FILE.pcap [--max N=5]\n");
@@ -316,8 +323,11 @@ net::VerdictMsg to_verdict_msg(const serving::StationVerdict& v) {
   return m;
 }
 
+// SIGINT (operator ^C) and SIGTERM (systemd / container stop) share one
+// drain path: stop accepting, classify what is queued, snapshot, exit —
+// an orchestrated shutdown is never state-losing.
 volatile std::sig_atomic_t g_interrupted = 0;
-void on_sigint(int) { g_interrupted = 1; }
+void on_shutdown_signal(int) { g_interrupted = 1; }
 
 void print_verdicts(const serving::AuthService& service,
                     const serving::ServiceConfig& cfg) {
@@ -344,6 +354,27 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
     return 2;
   }
   const bool once = args.get_int("once", 0) != 0;
+  const std::string state_file = args.get("state-file");
+  const int state_interval_ms = args.get_int("state-interval-ms", 1000);
+  if (state_interval_ms < 1) {
+    std::fprintf(stderr, "serve: --state-interval-ms must be >= 1\n");
+    return 2;
+  }
+  // Queue-depth watermarks for load shedding: above --shed-high queued
+  // reports, NEW connections are refused at accept (the cheapest work to
+  // sacrifice — established streams keep flowing and in-flight reports
+  // keep classifying); accepting resumes once depth falls back under
+  // --shed-low. The low watermark gives hysteresis so a depth hovering
+  // at the threshold does not flap the gate on every accept.
+  const int queue_budget = static_cast<int>(cfg.queue_capacity);
+  const int shed_high = args.get_int("shed-high", (queue_budget * 9) / 10);
+  const int shed_low = args.get_int("shed-low", (queue_budget * 7) / 10);
+  if (shed_high < 1 || shed_low < 0 || shed_low > shed_high) {
+    std::fprintf(stderr,
+                 "serve: need 0 <= --shed-low <= --shed-high and "
+                 "--shed-high >= 1\n");
+    return 2;
+  }
 
   const core::Authenticator auth = load_authenticator(args);
 
@@ -361,11 +392,42 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
     service.set_verdict_callback([&pub](const serving::StationVerdict& v) {
       pub->publish(to_verdict_msg(v));
     });
+  if (!state_file.empty()) {
+    // Restore BEFORE any report flows: rolling majorities pick up where
+    // the previous process (clean exit or kill -9) last snapshotted.
+    std::string err;
+    switch (service.restore_sessions(state_file, &err)) {
+      case serving::SessionTable::RestoreStatus::kRestored:
+        std::printf("serve: restored %zu station session(s) from %s\n",
+                    service.sessions().num_stations(), state_file.c_str());
+        break;
+      case serving::SessionTable::RestoreStatus::kNoFile:
+        std::printf("serve: no session snapshot at %s, starting cold\n",
+                    state_file.c_str());
+        break;
+      case serving::SessionTable::RestoreStatus::kCorrupt:
+        // A damaged snapshot is refused loudly, never half-loaded: the
+        // operator decides whether to delete it and start cold.
+        std::fprintf(stderr, "serve: %s\n", err.c_str());
+        return 1;
+    }
+  }
   service.start();
 
+  std::atomic<bool> shedding{false};
   net::IngestConfig icfg;
   icfg.port = listen_port;
   icfg.max_conns = static_cast<std::size_t>(max_conns);
+  icfg.accept_gate = [&service, &shedding, shed_high, shed_low] {
+    const std::size_t depth = service.queue_depth();
+    bool shed = shedding.load(std::memory_order_relaxed);
+    if (!shed && depth >= static_cast<std::size_t>(shed_high))
+      shed = true;
+    else if (shed && depth <= static_cast<std::size_t>(shed_low))
+      shed = false;
+    shedding.store(shed, std::memory_order_relaxed);
+    return !shed;
+  };
   net::TcpIngestServer ingest(icfg,
                               [&service](capture::ObservedFeedback& obs) {
                                 return service.try_submit(obs);
@@ -374,16 +436,18 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
 
   if (args.has("port-file")) {
     // Readiness signal for drivers racing a freshly forked server: the
-    // file appears only once both sockets are bound and accepting.
+    // file appears only once both sockets are bound and accepting, and
+    // atomically — a racing driver reads two ports or no file, never a
+    // torn line.
     const std::string path = args.get("port-file");
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "serve: cannot write --port-file %s\n",
-                   path.c_str());
+    try {
+      common::write_file_atomic(
+          path, std::to_string(ingest.port()) + " " +
+                    std::to_string(pub ? pub->port() : 0u) + "\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: cannot write --port-file: %s\n", e.what());
       return 1;
     }
-    std::fprintf(f, "%u %u\n", ingest.port(), pub ? pub->port() : 0u);
-    std::fclose(f);
   }
   const std::string publish_note =
       pub ? ", publishing verdicts on " + std::to_string(pub->port()) : "";
@@ -392,16 +456,43 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
               ingest.port(), publish_note.c_str(), service.num_lanes(),
               max_conns, once ? ", exiting after first client wave" : "");
 
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  auto last_save = std::chrono::steady_clock::now();
+  const auto maybe_snapshot = [&] {
+    if (state_file.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_save < std::chrono::milliseconds(state_interval_ms)) return;
+    try {
+      service.save_sessions(state_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: session snapshot failed: %s\n", e.what());
+    }
+    last_save = now;
+  };
   if (once) {
-    ingest.wait_until_idle();
+    while (g_interrupted == 0 &&
+           !ingest.wait_until_idle_for(std::chrono::milliseconds(200)))
+      maybe_snapshot();
   } else {
-    std::signal(SIGINT, on_sigint);
-    while (g_interrupted == 0)
+    while (g_interrupted == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
-    std::printf("serve: interrupted, draining\n");
+      maybe_snapshot();
+    }
   }
+  if (g_interrupted != 0) std::printf("serve: signal received, draining\n");
   ingest.stop();
   service.drain();  // queued reports classify; verdict callbacks still fire
+  if (!state_file.empty()) {
+    // Final snapshot after the drain so a clean shutdown persists every
+    // classified report, not just the last periodic cut.
+    try {
+      service.save_sessions(state_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: final session snapshot failed: %s\n",
+                   e.what());
+    }
+  }
 
   const serving::ServiceStats stats = service.stats();
   if (pub) {
@@ -423,11 +514,12 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
   print_verdicts(service, cfg);
   const net::IngestStats is = ingest.stats();
   std::printf("\n--- serve stats ------------------------------------------\n");
-  std::printf("ingest       %llu conn(s) (%llu refused), %llu frames, "
-              "%llu submitted, %llu dropped, %llu malformed, %llu protocol "
-              "errors, %llu pauses\n",
+  std::printf("ingest       %llu conn(s) (%llu refused, %llu shed), %llu "
+              "frames, %llu submitted, %llu dropped, %llu malformed, %llu "
+              "protocol errors, %llu pauses\n",
               static_cast<unsigned long long>(is.conns_accepted),
               static_cast<unsigned long long>(is.conns_rejected),
+              static_cast<unsigned long long>(is.conns_shed),
               static_cast<unsigned long long>(is.frames),
               static_cast<unsigned long long>(is.reports_submitted),
               static_cast<unsigned long long>(is.reports_dropped),
@@ -445,6 +537,22 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
               stats.queue.peak_depth, cfg.queue_capacity,
               stats.queue.dropped_oldest, stats.queue.rejected,
               stats.queue.would_block);
+  // Watchdog: a lane with queued work that has stopped flushing is the
+  // one failure this block must never hide.
+  if (stats.lanes_stalled > 0) {
+    std::printf("watchdog     %zu of %zu lane(s) STALLED (>%dms without "
+                "progress while work is queued):\n",
+                stats.lanes_stalled, service.num_lanes(),
+                args.get_int("watchdog-ms", 2000));
+    for (std::size_t lane = 0; lane < service.num_lanes(); ++lane) {
+      const serving::LaneStats ls = service.lane_stats(lane);
+      if (ls.stalled)
+        std::printf("  lane %zu     depth %zu, last progress %.1fs ago\n",
+                    lane, ls.queue.depth, ls.since_progress_s);
+    }
+  } else {
+    std::printf("watchdog     all %zu lane(s) healthy\n", service.num_lanes());
+  }
   if (pub) {
     const net::PublisherStats ps = pub->stats();
     std::printf("publish      %llu subscriber(s), %llu frames, %llu "
@@ -486,6 +594,12 @@ int cmd_serve(const Args& args) {
   cfg.scheduler.max_latency = std::chrono::microseconds(latency_us);
   cfg.sessions.window = static_cast<std::size_t>(window);
   cfg.consumers = static_cast<std::size_t>(consumers);
+  const int watchdog_ms = args.get_int("watchdog-ms", 2000);
+  if (watchdog_ms < 1) {
+    std::fprintf(stderr, "serve: --watchdog-ms must be >= 1\n");
+    return 2;
+  }
+  cfg.watchdog_stall = std::chrono::milliseconds(watchdog_ms);
   const std::string policy = args.get("policy", "block");
   if (policy == "block") {
     cfg.policy = common::OverflowPolicy::kBlock;
@@ -586,6 +700,29 @@ int cmd_drive(const Args& args) {
     std::fprintf(stderr, "drive: --conns/--window must be >= 1\n");
     return 2;
   }
+  // Replay slicing for kill-and-restore drills: --skip/--limit bound
+  // which reports are SENT, while --model parity always replays the FULL
+  // capture offline — so "send the first half, kill the server, restart
+  // from the snapshot, send the rest with --skip" must end in exactly
+  // the state a single uninterrupted run would produce.
+  const int skip = args.get_int("skip", 0);
+  const int limit = args.get_int("limit", 0);
+  // Reconnect-with-backoff knobs (0 attempts = fail fast, the default).
+  const int reconnect_attempts = args.get_int("reconnect", 0);
+  const int backoff_base_ms = args.get_int("reconnect-base-ms", 20);
+  const int backoff_cap_ms = args.get_int("reconnect-cap-ms", 1000);
+  const int resubscribe = args.get_int("resubscribe", 0);
+  if (skip < 0 || limit < 0 || reconnect_attempts < 0 || backoff_base_ms < 1 ||
+      backoff_cap_ms < backoff_base_ms || resubscribe < 0) {
+    std::fprintf(stderr,
+                 "drive: --skip/--limit/--reconnect/--resubscribe must be "
+                 ">= 0, --reconnect-cap-ms >= --reconnect-base-ms >= 1\n");
+    return 2;
+  }
+  net::ReconnectPolicy rpolicy;
+  rpolicy.attempts = reconnect_attempts;
+  rpolicy.backoff_base = std::chrono::milliseconds(backoff_base_ms);
+  rpolicy.backoff_cap = std::chrono::milliseconds(backoff_cap_ms);
 
   const auto packets = capture::read_pcap(args.get("pcap"));
   const auto observed = capture::observe_feedback(packets, std::nullopt);
@@ -593,6 +730,15 @@ int cmd_drive(const Args& args) {
     std::printf("drive: no decodable beamforming feedback in capture\n");
     return 1;
   }
+  const std::size_t send_first =
+      std::min(static_cast<std::size_t>(skip), observed.size());
+  const std::size_t send_count =
+      limit == 0 ? observed.size() - send_first
+                 : std::min(static_cast<std::size_t>(limit),
+                            observed.size() - send_first);
+  if (send_first > 0 || send_count < observed.size())
+    std::printf("drive: sending reports [%zu, %zu) of %zu\n", send_first,
+                send_first + send_count, observed.size());
 
   // Subscribe before sending so no transition can slip past between the
   // last report and the server's final snapshot.
@@ -605,20 +751,34 @@ int cmd_drive(const Args& args) {
   // the invariant the verdict math (and the parity check) rests on.
   std::vector<net::NetClient> clients;
   clients.reserve(static_cast<std::size_t>(conns));
-  for (int i = 0; i < conns; ++i)
+  for (int i = 0; i < conns; ++i) {
     clients.push_back(net::NetClient::connect(host, ingest_port));
+    net::ReconnectPolicy p = rpolicy;
+    p.jitter_seed = static_cast<std::uint64_t>(i);  // de-synchronized redials
+    clients.back().set_reconnect(p);
+  }
   std::size_t sent = 0;
-  for (const auto& obs : observed) {
+  for (std::size_t i = send_first; i < send_first + send_count; ++i) {
+    const auto& obs = observed[i];
     const std::size_t c =
         common::mix64(obs.beamformee.to_u64()) % clients.size();
     if (!clients[c].send_report(obs)) {
-      std::fprintf(stderr, "drive: server closed connection %zu mid-send\n", c);
+      std::fprintf(stderr,
+                   "drive: connection %zu lost and not recovered "
+                   "(--reconnect %d)\n",
+                   c, reconnect_attempts);
       return 1;
     }
     ++sent;
   }
-  for (auto& c : clients) c.close();
-  std::printf("drive: sent %zu reports over %d connection(s)\n", sent, conns);
+  std::uint64_t reconnects = 0;
+  for (auto& c : clients) {
+    reconnects += c.reconnects();
+    c.close();
+  }
+  std::printf("drive: sent %zu reports over %d connection(s), %llu "
+              "reconnect(s)\n",
+              sent, conns, static_cast<unsigned long long>(reconnects));
   if (!sub) return 0;
 
   // Collect the verdict stream until the server flushes and closes (the
@@ -626,20 +786,42 @@ int cmd_drive(const Args& args) {
   // update per station wins — that snapshot makes it the final state.
   std::map<capture::MacAddress, net::VerdictMsg> final_verdicts;
   std::optional<net::StatsMsg> server_stats;
-  while (auto frame = sub->next_frame()) {
-    const std::span<const std::uint8_t> payload(frame->payload.data(),
-                                                frame->payload.size());
-    if (frame->type == static_cast<std::uint8_t>(net::FrameType::kVerdictUpdate)) {
-      if (const auto v = net::decode_verdict(payload))
-        final_verdicts[v->station] = *v;
-    } else if (frame->type == static_cast<std::uint8_t>(net::FrameType::kStats)) {
-      server_stats = net::decode_stats(payload);
+  int resubscribes_left = resubscribe;
+  for (;;) {
+    while (auto frame = sub->next_frame()) {
+      const std::span<const std::uint8_t> payload(frame->payload.data(),
+                                                  frame->payload.size());
+      if (frame->type ==
+          static_cast<std::uint8_t>(net::FrameType::kVerdictUpdate)) {
+        if (const auto v = net::decode_verdict(payload))
+          final_verdicts[v->station] = *v;
+      } else if (frame->type ==
+                 static_cast<std::uint8_t>(net::FrameType::kStats)) {
+        server_stats = net::decode_stats(payload);
+      }
     }
-  }
-  if (sub->error() != net::FrameAssembler::Error::kNone) {
-    std::fprintf(stderr, "drive: verdict stream protocol error: %s\n",
-                 net::error_name(sub->error()));
-    return 1;
+    if (sub->error() != net::FrameAssembler::Error::kNone) {
+      std::fprintf(stderr, "drive: verdict stream protocol error: %s\n",
+                   net::error_name(sub->error()));
+      return 1;
+    }
+    // The once-mode server always ends its stream with a stats frame
+    // after the full verdict snapshot; an EOF without one means the
+    // stream dropped mid-run (server restart). The final snapshot after
+    // a resubscribe re-publishes every station, so reconnecting loses
+    // nothing.
+    if (server_stats || resubscribes_left <= 0) break;
+    --resubscribes_left;
+    std::fprintf(stderr,
+                 "drive: verdict stream dropped before the final stats "
+                 "frame; resubscribing (%d attempt(s) left)\n",
+                 resubscribes_left);
+    net::ReconnectPolicy sp = rpolicy;
+    if (sp.attempts <= 0) sp.attempts = 5;
+    if (!sub->reconnect(sp)) {
+      std::fprintf(stderr, "drive: resubscribe failed\n");
+      return 1;
+    }
   }
 
   std::printf("drive: published verdicts (%zu stations):\n",
