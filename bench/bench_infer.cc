@@ -282,7 +282,7 @@ int main() {
     replay.loops = loops;
     replay.producers = 2;
     serving::replay_observed(service, stream, replay);
-    const serving::ServiceStats stats = service.stats();
+    const serving::StatsSnapshot stats = service.stats();
     std::printf("  %zu consumer(s): %10.1f reports/s  (p50 %.2fms, p99 "
                 "%.2fms, %zu batches)\n",
                 consumers, stats.throughput_rps, stats.batch_latency_p50_ms,

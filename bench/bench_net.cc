@@ -150,7 +150,7 @@ double run_config(const core::Authenticator& auth,
   service.drain();
 
   const net::IngestStats in = ingest.stats();
-  const serving::ServiceStats stats = service.stats();
+  const serving::StatsSnapshot stats = service.stats();
   DEEPCSI_CHECK(in.reports_dropped == 0);
   DEEPCSI_CHECK(stats.reports_classified == stream.size());
   verdicts = service.sessions().snapshot();

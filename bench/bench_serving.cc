@@ -107,7 +107,7 @@ void run_throughput_grid(const core::Authenticator& auth,
       replay.loops = loops;
       replay.producers = producers;
       serving::replay_observed(service, stream, replay);
-      const serving::ServiceStats stats = service.stats();
+      const serving::StatsSnapshot stats = service.stats();
       std::printf("%10d %12s %14.1f %10.2f %10.2f %10zu %9zu\n", producers,
                   policy_name(policy), stats.throughput_rps,
                   stats.batch_latency_p50_ms, stats.batch_latency_p99_ms,
@@ -156,7 +156,7 @@ void run_consumer_scaling(const core::Authenticator& auth,
     replay.loops = loops;
     replay.producers = 2;
     serving::replay_observed(service, stream, replay);
-    const serving::ServiceStats stats = service.stats();
+    const serving::StatsSnapshot stats = service.stats();
     if (consumers == 1) single_rps = stats.throughput_rps;
     last_rps = stats.throughput_rps;
     std::printf("%10zu %14.1f %10.2f %10.2f %9zu\n", consumers,

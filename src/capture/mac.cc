@@ -45,6 +45,16 @@ MacAddress MacAddress::for_station(int station_id) {
   return MacAddress{{0x9C, 0x3D, 0xCF, 0x5A, 0x00, static_cast<std::uint8_t>(station_id)}};
 }
 
+MacAddress MacAddress::for_fleet_station(std::uint64_t station_id) {
+  DEEPCSI_CHECK(station_id <= 0xFFFFFFFFull);
+  // 0xDA has the locally-administered bit set: synthetic, never a vendor.
+  return MacAddress{{0xDA, 0x7A,
+                     static_cast<std::uint8_t>(station_id >> 24),
+                     static_cast<std::uint8_t>(station_id >> 16),
+                     static_cast<std::uint8_t>(station_id >> 8),
+                     static_cast<std::uint8_t>(station_id)}};
+}
+
 MacAddress MacAddress::broadcast() {
   return MacAddress{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
 }

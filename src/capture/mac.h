@@ -26,6 +26,12 @@ struct MacAddress {
   // Wi-Fi module changes; stations get their own OUI.
   static MacAddress for_module(int module_id);
   static MacAddress for_station(int station_id);
+  // Fleet-scale addressing for the synthetic million-station driver: a
+  // third OUI (locally administered) with the 32-bit station index in the
+  // low four octets, so fleet traffic can never collide with the 256
+  // testbed stations above — and the byte layout those captures bake in
+  // stays untouched.
+  static MacAddress for_fleet_station(std::uint64_t station_id);
   static MacAddress broadcast();
 };
 

@@ -1,0 +1,25 @@
+#include "common/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace deepcsi::common {
+
+std::size_t process_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "rb");
+  if (!f) return 0;
+  char line[256];
+  std::size_t rss = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1)
+        rss = static_cast<std::size_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss;
+}
+
+}  // namespace deepcsi::common

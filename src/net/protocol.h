@@ -126,13 +126,21 @@ std::optional<VerdictMsg> decode_verdict(std::span<const std::uint8_t> payload);
 
 // End-of-run service counters (payload layout, all LE):
 //   u64 reports_classified, u64 dropped_oldest, u64 rejected,
-//   f64 throughput_rps, f64 batch_latency_p99_ms
+//   f64 throughput_rps, f64 batch_latency_p99_ms,
+//   u64 stations, u64 evicted_ttl, u64 evicted_lru, u64 session_bytes
+// The four session/eviction counters were appended later; the decoder
+// accepts the original short payload (they read as 0), so an old driver
+// frame still parses and a new driver tolerates an old server.
 struct StatsMsg {
   std::uint64_t reports_classified = 0;
   std::uint64_t dropped_oldest = 0;
   std::uint64_t rejected = 0;
   double throughput_rps = 0.0;
   double batch_latency_p99_ms = 0.0;
+  std::uint64_t stations = 0;       // live sessions at end of run
+  std::uint64_t evicted_ttl = 0;    // sessions dropped by TTL expiry
+  std::uint64_t evicted_lru = 0;    // sessions dropped by the entry ceiling
+  std::uint64_t session_bytes = 0;  // approximate session-table footprint
   bool operator==(const StatsMsg&) const = default;
 };
 std::vector<std::uint8_t> encode_stats_frame(const StatsMsg& msg);

@@ -66,6 +66,20 @@ Point Scene::beamformee_position(int beamformee, int position) const {
   return {x, a.y + 2.6, kAntennaHeightMeters};
 }
 
+Point Scene::fleet_station_position(int station_class, int position) const {
+  DEEPCSI_CHECK(station_class >= 0);
+  DEEPCSI_CHECK_MSG(position >= 1 && position <= kNumBeamformeePositions,
+                    "positions are labeled 1..9 per Fig. 6");
+  const Point base = beamformee_position(station_class % 2, position);
+  const double row_depth = 0.35 * (station_class / 2);
+  const auto clamp = [](double v, double lo, double hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  return {clamp(base.x, 0.2, env_.room.width - 0.2),
+          clamp(base.y + row_depth, 0.2, env_.room.depth - 0.2),
+          kAntennaHeightMeters};
+}
+
 Point Scene::mobility_path(double t) const {
   DEEPCSI_CHECK(t >= 0.0 && t <= 1.0);
   const Point a = ap_position_a();

@@ -65,6 +65,14 @@ class Scene {
   // Both start facing the AP and step outward (BF0 left, BF1 right).
   Point beamformee_position(int beamformee, int position) const;
 
+  // Fleet generalization of the two-beamformee layout: station_class >= 0
+  // picks a row (classes 0/1 share the Fig. 6 row, each further pair sits
+  // 0.35 m deeper into the room) and the class parity picks the side, so
+  // arbitrarily many distinct RF placements reuse the same position grid.
+  // position in {1..9}; x/y are clamped to stay inside the room. Classes
+  // 0 and 1 at any position reproduce beamformee_position exactly.
+  Point fleet_station_position(int station_class, int position) const;
+
   // AP location along the mobility path A-B-C-D-B-A at path fraction
   // t in [0, 1]. Piecewise-linear, constant speed over the 4.8 m course.
   Point mobility_path(double t) const;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/rss.h"
 
 namespace deepcsi::serving {
 
@@ -164,8 +165,8 @@ void AuthService::on_batch(std::vector<PendingReport>&& batch,
   if (latency_ms > batch_latency_max_ms_) batch_latency_max_ms_ = latency_ms;
 }
 
-LaneStats AuthService::lane_stats(std::size_t lane) const {
-  LaneStats s;
+StatsSnapshot::Lane AuthService::lane_stats(std::size_t lane) const {
+  StatsSnapshot::Lane s;
   s.queue = queues_.at(lane)->stats();
   s.scheduler = scheduler_.lane_stats(lane);
   s.since_progress_s =
@@ -196,8 +197,8 @@ SessionTable::RestoreStatus AuthService::restore_sessions(
   return sessions_.restore_snapshot(path, error);
 }
 
-ServiceStats AuthService::stats() const {
-  ServiceStats s;
+StatsSnapshot AuthService::stats() const {
+  StatsSnapshot s;
   for (const auto& queue : queues_) {
     const common::QueueStats q = queue->stats();
     s.queue.depth += q.depth;
@@ -210,8 +211,16 @@ ServiceStats AuthService::stats() const {
   }
   s.scheduler = scheduler_.stats();
   s.consumers = queues_.size();
-  for (std::size_t i = 0; i < queues_.size(); ++i)
-    if (lane_stats(i).stalled) ++s.lanes_stalled;
+  s.lanes.reserve(queues_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    s.lanes.push_back(lane_stats(i));
+    if (s.lanes.back().stalled) ++s.lanes_stalled;
+  }
+  s.sessions = sessions_.stats();
+  s.queue_budget = cfg_.queue_capacity;
+  s.watchdog_stall_s =
+      std::chrono::duration<double>(cfg_.watchdog_stall).count();
+  s.process_rss_bytes = common::process_rss_bytes();
   std::lock_guard<std::mutex> lock(stats_mu_);
   s.reports_classified = reports_classified_;
   if (started_) {

@@ -35,6 +35,7 @@
 #include "core/pipeline.h"
 #include "serving/scheduler.h"
 #include "serving/session_table.h"
+#include "serving/stats.h"
 
 namespace deepcsi::serving {
 
@@ -51,29 +52,6 @@ struct ServiceConfig {
   // is flagged stalled in stats() / lane_stats() — the watchdog signal
   // the serve stats block surfaces for a wedged consumer.
   std::chrono::milliseconds watchdog_stall{2000};
-};
-
-struct ServiceStats {
-  common::QueueStats queue;  // aggregated over lanes (peak_depth summed)
-  SchedulerStats scheduler;  // aggregated over lanes
-  std::size_t consumers = 1;
-  std::size_t lanes_stalled = 0;  // watchdog: queued work, no progress
-  std::size_t reports_classified = 0;
-  double wall_seconds = 0.0;       // start() .. drain() (or "so far")
-  double throughput_rps = 0.0;     // reports_classified / wall_seconds
-  // Batch latency = enqueue of the batch's oldest report -> verdicts
-  // recorded; the end-to-end staleness of the slowest report in a batch.
-  double batch_latency_p50_ms = 0.0;
-  double batch_latency_p99_ms = 0.0;
-  double batch_latency_max_ms = 0.0;
-};
-
-// Per-lane view for observability (CLI stats block, benches).
-struct LaneStats {
-  common::QueueStats queue;
-  SchedulerStats scheduler;
-  bool stalled = false;           // queued work, no flush for watchdog_stall
-  double since_progress_s = 0.0;  // seconds since the lane last flushed
 };
 
 // One report waiting for the classifier.
@@ -124,9 +102,14 @@ class AuthService {
   // lane threads. Idempotent.
   void drain();
 
-  ServiceStats stats() const;
+  // The consolidated observability snapshot: queue/scheduler aggregates,
+  // per-lane breakdown, session-table occupancy + eviction counters,
+  // configured context and process RSS — everything except the network
+  // front ends (the socket owners copy those in; serving does not depend
+  // on net).
+  StatsSnapshot stats() const;
   std::size_t num_lanes() const { return queues_.size(); }
-  LaneStats lane_stats(std::size_t lane) const;
+  StatsSnapshot::Lane lane_stats(std::size_t lane) const;
   const SessionTable& sessions() const { return sessions_; }
 
   // Total reports currently queued across lanes. Cheap (one short lock

@@ -1,6 +1,7 @@
 #include "serving/session_table.h"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstring>
 
@@ -25,14 +26,125 @@ capture::MacAddress mac_from_u64(std::uint64_t key) {
 
 }  // namespace
 
+std::size_t SessionTable::session_footprint_bytes(std::size_t window) {
+  // Session struct + the ring/vote blob + an allowance for the
+  // unordered_map node (key, hash, next pointer, allocator slack).
+  return sizeof(Session) + window * (sizeof(WindowEntry) + sizeof(VoteCount)) +
+         64;
+}
+
 SessionTable::SessionTable(SessionConfig cfg) : cfg_(cfg) {
   DEEPCSI_CHECK(cfg_.window >= 1);
+  DEEPCSI_CHECK(cfg_.ttl_s >= 0.0);
   if (cfg_.num_shards == 0) cfg_.num_shards = 1;
+  blob_bytes_ = cfg_.window * (sizeof(WindowEntry) + sizeof(VoteCount));
+  // Fold the byte ceiling into an entry count; when both bounds are set
+  // the tighter one wins. Per-shard cap is the floor division (never 0,
+  // so a shard can always hold the station it is recording); the
+  // effective global ceiling is what the caps actually enforce.
+  std::size_t global = cfg_.max_stations;
+  if (cfg_.max_bytes > 0) {
+    std::size_t by_bytes = cfg_.max_bytes / session_footprint_bytes(cfg_.window);
+    if (by_bytes == 0) by_bytes = 1;
+    global = global == 0 ? by_bytes : std::min(global, by_bytes);
+  }
+  if (global > 0) {
+    shard_cap_ = std::max<std::size_t>(1, global / cfg_.num_shards);
+    station_ceiling_ = shard_cap_ * cfg_.num_shards;
+  } else {
+    shard_cap_ = SIZE_MAX;
+    station_ceiling_ = 0;
+  }
   shards_ = std::make_unique<Shard[]>(cfg_.num_shards);
 }
 
 SessionTable::Shard& SessionTable::shard_for(std::uint64_t key) const {
   return shards_[common::mix64(key) % cfg_.num_shards];
+}
+
+SessionTable::WindowEntry* SessionTable::entries(const Session& s) const {
+  return reinterpret_cast<WindowEntry*>(s.blob.get());
+}
+
+SessionTable::VoteCount* SessionTable::votes(const Session& s) const {
+  return reinterpret_cast<VoteCount*>(s.blob.get() +
+                                      cfg_.window * sizeof(WindowEntry));
+}
+
+SessionTable::Session SessionTable::make_session() const {
+  Session s;
+  s.blob = std::make_unique<unsigned char[]>(blob_bytes_);
+  return s;
+}
+
+void SessionTable::vote_add(Session& s, std::int32_t module) {
+  VoteCount* v = votes(s);
+  for (std::uint32_t i = 0; i < s.num_votes; ++i) {
+    if (v[i].module == module) {
+      ++v[i].count;
+      return;
+    }
+  }
+  // num_votes can never exceed window: each bucket holds >= 1 of the <=
+  // window ring entries.
+  v[s.num_votes++] = VoteCount{module, 1};
+}
+
+void SessionTable::vote_remove(Session& s, std::int32_t module) {
+  VoteCount* v = votes(s);
+  for (std::uint32_t i = 0; i < s.num_votes; ++i) {
+    if (v[i].module == module) {
+      if (--v[i].count == 0) v[i] = v[--s.num_votes];
+      return;
+    }
+  }
+  DEEPCSI_CHECK(false && "vote_remove: module not in window");
+}
+
+// Majority over the dense vote array with the documented tie rule: on
+// equal counts the LOWEST module id wins (the old std::map scan got this
+// from ascending iteration order; the dense array spells it out).
+int SessionTable::majority(const Session& s, std::size_t* out_votes) const {
+  const VoteCount* v = votes(s);
+  int best_id = -1;
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 0; i < s.num_votes; ++i) {
+    if (v[i].count > best || (v[i].count == best && v[i].module < best_id)) {
+      best_id = v[i].module;
+      best = v[i].count;
+    }
+  }
+  if (out_votes) *out_votes = best;
+  return best_id;
+}
+
+void SessionTable::lru_unlink(Shard& shard, std::uint64_t key, Session& s) {
+  if (s.lru_prev != kNil)
+    shard.sessions.find(s.lru_prev)->second.lru_next = s.lru_next;
+  else if (shard.lru_head == key)
+    shard.lru_head = s.lru_next;
+  if (s.lru_next != kNil)
+    shard.sessions.find(s.lru_next)->second.lru_prev = s.lru_prev;
+  else if (shard.lru_tail == key)
+    shard.lru_tail = s.lru_prev;
+  s.lru_prev = kNil;
+  s.lru_next = kNil;
+}
+
+void SessionTable::lru_push_front(Shard& shard, std::uint64_t key, Session& s) {
+  s.lru_prev = kNil;
+  s.lru_next = shard.lru_head;
+  if (shard.lru_head != kNil)
+    shard.sessions.find(shard.lru_head)->second.lru_prev = key;
+  shard.lru_head = key;
+  if (shard.lru_tail == kNil) shard.lru_tail = key;
+}
+
+void SessionTable::evict(Shard& shard, std::uint64_t key) {
+  auto it = shard.sessions.find(key);
+  DEEPCSI_CHECK(it != shard.sessions.end());
+  lru_unlink(shard, key, it->second);
+  shard.sessions.erase(it);
 }
 
 SessionTable::RecordResult SessionTable::record(
@@ -41,50 +153,71 @@ SessionTable::RecordResult SessionTable::record(
   const std::uint64_t key = station.to_u64();
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  Session& s = shard.sessions[key];
+  auto [it, inserted] = shard.sessions.try_emplace(key);
+  Session& s = it->second;
+  if (inserted) {
+    s = make_session();
+    lru_push_front(shard, key, s);
+    shard.peak_stations = std::max(shard.peak_stations, shard.sessions.size());
+  } else {
+    lru_unlink(shard, key, s);
+    lru_push_front(shard, key, s);
+  }
   const bool fresh = s.total_reports == 0;
-  int old_majority = -1;
-  std::size_t old_votes = 0;
-  for (const auto& [id, count] : s.counts) {
-    if (count > old_votes) {
-      old_majority = id;
-      old_votes = count;
-    }
+  const int old_majority = majority(s, nullptr);
+  WindowEntry* ring = entries(s);
+  if (s.len == cfg_.window) {
+    const WindowEntry& oldest = ring[s.head];
+    vote_remove(s, oldest.module);
+    s.confidence_sum -= oldest.confidence;
+    s.head = static_cast<std::uint32_t>((s.head + 1) % cfg_.window);
+    --s.len;
   }
-  if (s.window.size() == cfg_.window) {
-    const auto& [old_id, old_conf] = s.window.front();
-    auto it = s.counts.find(old_id);
-    if (--it->second == 0) s.counts.erase(it);
-    s.confidence_sum -= old_conf;
-    s.window.pop_front();
-  }
-  s.window.emplace_back(prediction.module_id, prediction.confidence);
-  ++s.counts[prediction.module_id];
+  ring[(s.head + s.len) % cfg_.window] =
+      WindowEntry{prediction.confidence, prediction.module_id};
+  ++s.len;
+  vote_add(s, prediction.module_id);
   s.confidence_sum += prediction.confidence;
   ++s.total_reports;
   s.last_timestamp_s = timestamp_s;
+
+  // TTL sweep from the cold end. Stream time only: a replayed capture
+  // evicts exactly the same stations at exactly the same reports every
+  // run. The station being recorded is at the LRU head and is skipped by
+  // the tail != key guard even when it is the only session.
+  if (cfg_.ttl_s > 0.0) {
+    while (shard.lru_tail != kNil && shard.lru_tail != key) {
+      const std::uint64_t victim = shard.lru_tail;
+      const Session& tail = shard.sessions.find(victim)->second;
+      if (tail.last_timestamp_s + cfg_.ttl_s > timestamp_s) break;
+      evict(shard, victim);
+      ++shard.evicted_ttl;
+    }
+  }
+  // Ceiling: shed least-recently-seen stations until this shard is back
+  // under its share. The current station sits at the head, so with
+  // shard_cap_ >= 1 the tail is never the station being recorded.
+  while (shard.sessions.size() > shard_cap_ && shard.lru_tail != key) {
+    evict(shard, shard.lru_tail);
+    ++shard.evicted_lru;
+  }
+
   RecordResult result;
   result.verdict = verdict_of(key, s);
   result.changed = fresh || result.verdict.module_id != old_majority;
   return result;
 }
 
-StationVerdict SessionTable::verdict_of(std::uint64_t key, const Session& s) {
+StationVerdict SessionTable::verdict_of(std::uint64_t key,
+                                        const Session& s) const {
   StationVerdict v;
   v.station = mac_from_u64(key);
-  v.window_size = s.window.size();
+  v.window_size = s.len;
   v.total_reports = s.total_reports;
   v.last_timestamp_s = s.last_timestamp_s;
-  if (!s.window.empty())
-    v.mean_confidence = s.confidence_sum / static_cast<double>(s.window.size());
-  // std::map iterates module ids ascending, so on a tie the lowest id wins
-  // — a fixed, documented rule rather than an accident of hashing.
-  for (const auto& [id, count] : s.counts) {
-    if (count > v.votes) {
-      v.module_id = id;
-      v.votes = count;
-    }
-  }
+  if (s.len > 0)
+    v.mean_confidence = s.confidence_sum / static_cast<double>(s.len);
+  v.module_id = majority(s, &v.votes);
   return v;
 }
 
@@ -113,15 +246,37 @@ std::vector<StationVerdict> SessionTable::snapshot() const {
   return out;
 }
 
+SessionTableStats SessionTable::stats() const {
+  SessionTableStats st;
+  for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    st.stations += shard.sessions.size();
+    st.peak_stations += shard.peak_stations;
+    st.evicted_ttl += shard.evicted_ttl;
+    st.evicted_lru += shard.evicted_lru;
+  }
+  st.approx_bytes = st.stations * session_footprint_bytes(cfg_.window);
+  st.station_ceiling = station_ceiling_;
+  return st;
+}
+
 namespace {
 
 // Snapshot wire format (little-endian, the only byte order this code
-// base targets): magic "DCSS", u32 version, u64 window, u64 stations,
-// then per station {u64 mac, u64 total_reports, f64 last_timestamp_s,
-// f64 confidence_sum, u64 window_len, window_len x {i32 module, f64
+// base targets): magic "DCSS", u32 version, u64 window, f64 ttl_s (bit
+// pattern), u64 max_stations, u64 max_bytes, u64 stations, then per
+// station {u64 mac, u64 total_reports, f64 last_timestamp_s, f64
+// confidence_sum, u64 window_len, window_len x {i32 module, f64
 // confidence}}, then u32 CRC-32 over everything before it.
+//
+// v2 added the three eviction-config fields to the header; restore
+// refuses a mismatch the same way it refuses a window mismatch — a
+// snapshot taken under one forgetting policy folded into a table with
+// another would resurrect stations the old policy already dropped (or
+// silently drop ones it kept).
 constexpr std::uint32_t kSnapshotMagic = 0x53534344u;  // "DCSS"
-constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T value) {
@@ -138,6 +293,12 @@ bool get(const std::vector<std::uint8_t>& in, std::size_t& off, T& value) {
   return true;
 }
 
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
 
 void SessionTable::save_snapshot(const std::string& path) const {
@@ -145,6 +306,9 @@ void SessionTable::save_snapshot(const std::string& path) const {
   put(buf, kSnapshotMagic);
   put(buf, kSnapshotVersion);
   put(buf, static_cast<std::uint64_t>(cfg_.window));
+  put(buf, cfg_.ttl_s);
+  put(buf, static_cast<std::uint64_t>(cfg_.max_stations));
+  put(buf, static_cast<std::uint64_t>(cfg_.max_bytes));
   const std::size_t count_at = buf.size();
   put(buf, std::uint64_t{0});  // station count, patched below
   std::uint64_t stations = 0;
@@ -156,10 +320,12 @@ void SessionTable::save_snapshot(const std::string& path) const {
       put(buf, static_cast<std::uint64_t>(s.total_reports));
       put(buf, s.last_timestamp_s);
       put(buf, s.confidence_sum);
-      put(buf, static_cast<std::uint64_t>(s.window.size()));
-      for (const auto& [module, conf] : s.window) {
-        put(buf, static_cast<std::int32_t>(module));
-        put(buf, conf);
+      put(buf, static_cast<std::uint64_t>(s.len));
+      const WindowEntry* ring = entries(s);
+      for (std::uint32_t j = 0; j < s.len; ++j) {
+        const WindowEntry& e = ring[(s.head + j) % cfg_.window];
+        put(buf, e.module);
+        put(buf, e.confidence);
       }
       ++stations;
     }
@@ -200,48 +366,78 @@ SessionTable::RestoreStatus SessionTable::restore_snapshot(
   std::size_t off = 0;
   std::uint32_t magic = 0, version = 0;
   std::uint64_t window = 0, stations = 0;
+  double ttl_s = 0.0;
+  std::uint64_t max_stations = 0, max_bytes = 0;
   if (!get(buf, off, magic) || magic != kSnapshotMagic)
     return corrupt("bad magic");
   if (!get(buf, off, version) || version != kSnapshotVersion)
     return corrupt("unsupported version " + std::to_string(version));
-  if (!get(buf, off, window) || !get(buf, off, stations))
+  if (!get(buf, off, window)) return corrupt("truncated header");
+  if (!get(buf, off, ttl_s) || !get(buf, off, max_stations) ||
+      !get(buf, off, max_bytes) || !get(buf, off, stations))
     return corrupt("truncated header");
   if (window != cfg_.window)
     return corrupt("window " + std::to_string(window) +
                    " does not match configured window " +
                    std::to_string(cfg_.window));
-  // Parse into a staging map first so a truncated body leaves the live
+  if (f64_bits(ttl_s) != f64_bits(cfg_.ttl_s) ||
+      max_stations != cfg_.max_stations || max_bytes != cfg_.max_bytes)
+    return corrupt(
+        "eviction config mismatch (snapshot ttl=" + std::to_string(ttl_s) +
+        " max_stations=" + std::to_string(max_stations) +
+        " max_bytes=" + std::to_string(max_bytes) +
+        " vs table ttl=" + std::to_string(cfg_.ttl_s) +
+        " max_stations=" + std::to_string(cfg_.max_stations) +
+        " max_bytes=" + std::to_string(cfg_.max_bytes) + ")");
+  // Parse into a staging vector first so a truncated body leaves the live
   // table untouched.
   std::vector<std::pair<std::uint64_t, Session>> staged;
   staged.reserve(stations);
   for (std::uint64_t i = 0; i < stations; ++i) {
     std::uint64_t key = 0, total = 0, wlen = 0;
-    Session s;
+    Session s = make_session();
     if (!get(buf, off, key) || !get(buf, off, total) ||
         !get(buf, off, s.last_timestamp_s) ||
         !get(buf, off, s.confidence_sum) || !get(buf, off, wlen))
       return corrupt("truncated station record");
     if (wlen > window) return corrupt("window overflow in station record");
     s.total_reports = total;
+    WindowEntry* ring = entries(s);
     for (std::uint64_t j = 0; j < wlen; ++j) {
       std::int32_t module = 0;
       double conf = 0.0;
       if (!get(buf, off, module) || !get(buf, off, conf))
         return corrupt("truncated window entry");
-      s.window.emplace_back(module, conf);
-      ++s.counts[module];  // vote counts are derived, not stored
+      ring[j] = WindowEntry{conf, module};
+      ++s.len;
+      vote_add(s, module);  // vote counts are derived, not stored
     }
     staged.emplace_back(key, std::move(s));
   }
   if (off != buf.size()) return corrupt("trailing bytes");
+  // Rebuild LRU order from the saved timestamps (key breaks ties) so
+  // post-restore eviction age-order does not depend on the shard layout
+  // the image happened to be saved under.
+  std::sort(staged.begin(), staged.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.last_timestamp_s != b.second.last_timestamp_s)
+                return a.second.last_timestamp_s < b.second.last_timestamp_s;
+              return a.first < b.first;
+            });
   for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
     shards_[i].sessions.clear();
+    shards_[i].lru_head = kNil;
+    shards_[i].lru_tail = kNil;
   }
+  // Oldest pushed first ends up at the tail — first in line to evict.
   for (auto& [key, session] : staged) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.sessions[key] = std::move(session);
+    auto [it, inserted] = shard.sessions.try_emplace(key, std::move(session));
+    DEEPCSI_CHECK(inserted && "duplicate station in snapshot");
+    lru_push_front(shard, key, it->second);
+    shard.peak_stations = std::max(shard.peak_stations, shard.sessions.size());
   }
   return RestoreStatus::kRestored;
 }

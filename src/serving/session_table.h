@@ -11,12 +11,27 @@
 // serialize on each other. All verdict math is integer counting over a
 // fixed window, so results depend only on the per-station sequence of
 // predictions, never on sharding or timing.
+//
+// A session is ONE heap blob: a fixed-capacity ring of (module,
+// confidence) entries plus a small dense vote-count array, both sized
+// from the configured window at construction. No per-report allocation,
+// no std::deque chunks, no std::map nodes — the memory cost of a station
+// is a constant known up front, which is what makes the table's RSS
+// ceiling enforceable.
+//
+// Eviction: each shard threads its sessions on an intrusive LRU list
+// (keys, not pointers, so rehashes are harmless). record() touches the
+// station to the front, then sweeps expired sessions from the tail (TTL
+// is measured in STREAM time — the report timestamps — so replays and
+// tests are deterministic) and finally evicts least-recently-seen
+// stations while the shard is over its share of the global ceiling. A
+// station that re-appears after eviction is a brand-new session: fresh
+// window, fresh lifetime counters, and its first verdict reports
+// changed=true — no stale majority carry-over.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -32,6 +47,16 @@ namespace deepcsi::serving {
 struct SessionConfig {
   std::size_t window = 31;     // rolling votes per station (odd avoids ties)
   std::size_t num_shards = 8;  // power of two recommended, not required
+
+  // Eviction policy. All three default to 0 = disabled (unbounded table,
+  // the pre-eviction behaviour). When more than one bound is set the
+  // tightest wins.
+  double ttl_s = 0.0;            // drop stations idle longer than this
+                                 // (stream time, not wall time)
+  std::size_t max_stations = 0;  // global entry-count ceiling
+  std::size_t max_bytes = 0;     // global ceiling on approximate session
+                                 // memory (converted to an entry count via
+                                 // session_footprint_bytes)
 };
 
 // The decision for one station, as of the last recorded prediction.
@@ -43,6 +68,19 @@ struct StationVerdict {
   std::size_t total_reports = 0; // lifetime predictions for this station
   double mean_confidence = 0.0;  // over the current window
   double last_timestamp_s = 0.0;
+};
+
+// Occupancy and eviction counters, aggregated over all shards. Counters
+// are process-lifetime cumulative (restore does not reset them).
+struct SessionTableStats {
+  std::size_t stations = 0;       // live sessions right now
+  std::size_t peak_stations = 0;  // high-water mark (sum of per-shard peaks)
+  std::uint64_t evicted_ttl = 0;  // sessions dropped by TTL expiry
+  std::uint64_t evicted_lru = 0;  // sessions dropped by the entry ceiling
+  std::size_t approx_bytes = 0;   // stations * session_footprint_bytes
+  std::size_t station_ceiling = 0;  // effective global entry cap (0 = none);
+                                    // num_shards * per-shard cap, so it can
+                                    // differ from max_stations by rounding
 };
 
 class SessionTable {
@@ -62,12 +100,15 @@ class SessionTable {
   // calls for the same station must arrive in stream order for the verdict
   // to be meaningful (the scheduler's FIFO drain guarantees this). The
   // returned verdict is computed under the same shard lock, so it reflects
-  // exactly this prediction's effect.
+  // exactly this prediction's effect. Eviction (TTL sweep + ceiling) runs
+  // here, under the same lock, and never evicts the station being
+  // recorded.
   RecordResult record(const capture::MacAddress& station,
                       const core::Authenticator::Prediction& prediction,
                       double timestamp_s);
 
-  // Current verdict for one station, if it has been seen.
+  // Current verdict for one station, if it has been seen (and not
+  // evicted). Does not touch LRU order — reads are not "activity".
   std::optional<StationVerdict> verdict(const capture::MacAddress& station) const;
 
   // All stations, sorted by MAC for deterministic reporting.
@@ -82,34 +123,83 @@ class SessionTable {
   // on I/O failure. restore_snapshot loads one into THIS table
   // (pre-existing sessions are replaced); a missing file is a cold
   // start (kNoFile), any damage — bad magic/version, truncated, CRC
-  // mismatch, window-size mismatch with this table's config — refuses
-  // the whole file (kCorrupt + diagnostic in *error), never half-loads.
+  // mismatch, window-size mismatch, EVICTION-CONFIG mismatch (ttl /
+  // max_stations / max_bytes differ from this table's) — refuses the
+  // whole file (kCorrupt + diagnostic in *error), never half-loads.
+  // Restored sessions re-enter the LRU ordered by their saved
+  // last_timestamp_s, so a restore under a different shard count still
+  // evicts in the same age order. A restore may transiently overshoot a
+  // per-shard cap (the image was sharded differently); the next record()
+  // on that shard brings it back under.
   enum class RestoreStatus { kRestored, kNoFile, kCorrupt };
   void save_snapshot(const std::string& path) const;
   RestoreStatus restore_snapshot(const std::string& path,
                                  std::string* error = nullptr);
 
   std::size_t num_stations() const;
+  SessionTableStats stats() const;
   const SessionConfig& config() const { return cfg_; }
 
+  // Approximate heap cost of one session at the given window: the Session
+  // struct, its blob, and an allowance for the hash-map node. Used to
+  // translate max_bytes into an entry ceiling and to report approx_bytes.
+  static std::size_t session_footprint_bytes(std::size_t window);
+
  private:
+  // One ring slot. 16 bytes (double + i32 + pad); the confidence leads so
+  // the blob needs no alignment fixup.
+  struct WindowEntry {
+    double confidence;
+    std::int32_t module;
+  };
+  // One dense vote bucket; at most `window` of them are ever live.
+  struct VoteCount {
+    std::int32_t module;
+    std::uint32_t count;
+  };
+
+  static constexpr std::uint64_t kNil = ~std::uint64_t{0};  // not a MAC:
+                                                            // MACs are 48-bit
+
   struct Session {
-    // (module_id, confidence) pairs, oldest first, at most cfg_.window.
-    std::deque<std::pair<int, double>> window;
-    std::map<int, std::size_t> counts;  // votes per module inside the window
+    // [WindowEntry x window][VoteCount x window], one allocation.
+    std::unique_ptr<unsigned char[]> blob;
+    std::uint32_t head = 0;       // ring start (oldest entry)
+    std::uint32_t len = 0;        // entries in the ring
+    std::uint32_t num_votes = 0;  // live VoteCount buckets
+    std::uint64_t total_reports = 0;
     double confidence_sum = 0.0;
-    std::size_t total_reports = 0;
     double last_timestamp_s = 0.0;
+    // Intrusive per-shard LRU list, most-recent at head.
+    std::uint64_t lru_prev = kNil;
+    std::uint64_t lru_next = kNil;
   };
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::uint64_t, Session> sessions;
+    std::uint64_t lru_head = kNil;
+    std::uint64_t lru_tail = kNil;
+    std::uint64_t evicted_ttl = 0;
+    std::uint64_t evicted_lru = 0;
+    std::size_t peak_stations = 0;
   };
 
   Shard& shard_for(std::uint64_t key) const;
-  static StationVerdict verdict_of(std::uint64_t key, const Session& s);
+  WindowEntry* entries(const Session& s) const;
+  VoteCount* votes(const Session& s) const;
+  void vote_add(Session& s, std::int32_t module);
+  void vote_remove(Session& s, std::int32_t module);
+  int majority(const Session& s, std::size_t* out_votes) const;
+  Session make_session() const;
+  void lru_unlink(Shard& shard, std::uint64_t key, Session& s);
+  void lru_push_front(Shard& shard, std::uint64_t key, Session& s);
+  void evict(Shard& shard, std::uint64_t key);
+  StationVerdict verdict_of(std::uint64_t key, const Session& s) const;
 
   SessionConfig cfg_;
+  std::size_t blob_bytes_ = 0;
+  std::size_t shard_cap_ = 0;        // per-shard entry cap (SIZE_MAX = none)
+  std::size_t station_ceiling_ = 0;  // shard_cap_ * num_shards (0 = none)
   std::unique_ptr<Shard[]> shards_;
 };
 

@@ -1,0 +1,106 @@
+// The one observability surface of the serving stack: every counter the
+// service, its queues, its scheduler lanes, the session table and the
+// optional network front ends expose is collected into a single versioned
+// StatsSnapshot, with one renderer for the human-facing `serve` end-of-run
+// block and one for machine-readable JSON.
+//
+// Before this existed the same numbers lived in four ad-hoc structs
+// (ServiceStats / LaneStats / QueueStats aggregation / hand-rolled printf
+// of IngestStats) and every consumer — CLI, benches, the stats wire frame
+// — stitched its own subset together. New counters (eviction, occupancy,
+// RSS) land HERE, once, and every consumer sees them.
+//
+// kVersion gates the JSON schema: any field removal or meaning change
+// bumps it, additions do not (readers must tolerate unknown keys).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/report_queue.h"
+#include "serving/scheduler.h"
+#include "serving/session_table.h"
+
+namespace deepcsi::serving {
+
+struct StatsSnapshot {
+  static constexpr int kVersion = 1;
+
+  // ------------------------------------------------ service core
+  common::QueueStats queue;  // aggregated over lanes (peak_depth summed)
+  SchedulerStats scheduler;  // aggregated over lanes
+  std::size_t consumers = 1;
+  std::size_t lanes_stalled = 0;  // watchdog: queued work, no progress
+  std::size_t reports_classified = 0;
+  double wall_seconds = 0.0;       // start() .. drain() (or "so far")
+  double throughput_rps = 0.0;     // reports_classified / wall_seconds
+  // Batch latency = enqueue of the batch's oldest report -> verdicts
+  // recorded; the end-to-end staleness of the slowest report in a batch.
+  double batch_latency_p50_ms = 0.0;
+  double batch_latency_p99_ms = 0.0;
+  double batch_latency_max_ms = 0.0;
+
+  // Per-lane breakdown (same order as the lane queues).
+  struct Lane {
+    common::QueueStats queue;
+    SchedulerStats scheduler;
+    bool stalled = false;           // queued work, no flush for watchdog_stall
+    double since_progress_s = 0.0;  // seconds since the lane last flushed
+  };
+  std::vector<Lane> lanes;
+
+  // ------------------------------------------------ session table
+  SessionTableStats sessions;  // occupancy, peaks, eviction counters
+
+  // ------------------------------------------------ configured context
+  std::size_t queue_budget = 0;    // total queued-report budget
+  double watchdog_stall_s = 0.0;   // stall threshold behind lanes_stalled
+
+  // ------------------------------------------------ producer tally
+  // Filled by replay/fleet drivers (how much was offered at the front
+  // door); 0/0 when the front end counts elsewhere (network ingest).
+  std::size_t reports_offered = 0;
+  std::size_t reports_accepted = 0;
+
+  // ------------------------------------------------ network front ends
+  // Copied in by the owner of the sockets (the CLI glue) — serving does
+  // not depend on net, so these are plain mirrored counters with a
+  // present flag, not net:: types.
+  struct Ingest {
+    bool present = false;
+    std::uint64_t conns_accepted = 0;
+    std::uint64_t conns_rejected = 0;
+    std::uint64_t conns_shed = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t reports_submitted = 0;
+    std::uint64_t reports_dropped = 0;
+    std::uint64_t malformed_payloads = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t pauses = 0;
+  };
+  Ingest ingest;
+  struct Publish {
+    bool present = false;
+    std::uint64_t subscribers_accepted = 0;
+    std::uint64_t frames_published = 0;
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+  Publish publish;
+
+  // ------------------------------------------------ process
+  std::size_t process_rss_bytes = 0;  // 0 when the platform can't say
+
+  // The `serve` end-of-run block, byte-stable given equal inputs: one
+  // line per subsystem, sections omitted when absent (no ingest line
+  // without a network front end, no per-lane lines for one lane, no
+  // session line when the table is empty AND unbounded).
+  std::string render_text() const;
+
+  // Single JSON object, all fields, stable key order, version tagged.
+  std::string render_json() const;
+};
+
+}  // namespace deepcsi::serving

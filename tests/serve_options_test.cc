@@ -1,0 +1,183 @@
+// ServeOptions is THE parse-and-validate path for serving knobs — the
+// CLI's serve/fleet verbs and any harness building a ServiceConfig from
+// strings go through it. These tests pin the contract: defaults, every
+// rejection (as an error string, never an exit), the eviction knobs'
+// unit conversions, and the front-specific rules.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "serving/options.h"
+
+namespace deepcsi {
+namespace {
+
+using serving::ServeOptions;
+
+using Flags = std::map<std::string, std::string>;
+
+std::optional<ServeOptions> parse(Flags flags,
+                                  ServeOptions::Front front,
+                                  std::string* err) {
+  return ServeOptions::parse(flags, front, err);
+}
+
+TEST(ServeOptionsTest, ReplayDefaults) {
+  std::string err;
+  const auto o = parse({{"model", "m.bin"}, {"pcap", "c.pcap"}},
+                       ServeOptions::Front::kServe, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->model, "m.bin");
+  EXPECT_EQ(o->pcap, "c.pcap");
+  EXPECT_FALSE(o->listen);
+  EXPECT_EQ(o->service.queue_capacity, 1024u);
+  EXPECT_EQ(o->service.scheduler.max_batch, 64u);
+  EXPECT_EQ(o->service.scheduler.max_latency,
+            std::chrono::microseconds(2000));
+  EXPECT_EQ(o->service.sessions.window, 31u);
+  EXPECT_EQ(o->service.sessions.num_shards, 8u);
+  EXPECT_EQ(o->service.sessions.ttl_s, 0.0);
+  EXPECT_EQ(o->service.sessions.max_stations, 0u);
+  EXPECT_EQ(o->service.sessions.max_bytes, 0u);
+  EXPECT_EQ(o->service.consumers, 1u);
+  EXPECT_EQ(o->service.policy, common::OverflowPolicy::kBlock);
+  EXPECT_EQ(o->loops, 1);
+  EXPECT_EQ(o->producers, 1);
+  EXPECT_EQ(o->rate_rps, 0.0);
+}
+
+TEST(ServeOptionsTest, ModelIsRequired) {
+  std::string err;
+  EXPECT_FALSE(
+      parse({{"pcap", "c.pcap"}}, ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("--model"), std::string::npos);
+}
+
+TEST(ServeOptionsTest, ServeNeedsExactlyOneFrontEnd) {
+  std::string err;
+  EXPECT_FALSE(parse({{"model", "m"}}, ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("--pcap"), std::string::npos);
+
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"listen", "9000"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(ServeOptionsTest, MalformedNumbersAreErrorsNotExits) {
+  std::string err;
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"queue", "abc"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("invalid integer for --queue"), std::string::npos);
+
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"queue", "12x"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("--queue"), std::string::npos);
+
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"ttl", "1.5q"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("invalid number for --ttl"), std::string::npos);
+}
+
+TEST(ServeOptionsTest, RangeViolationsAreRejected) {
+  std::string err;
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"queue", "0"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"shards", "0"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"latency-us", "-1"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"ttl", "-2"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"policy", "banana"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("banana"), std::string::npos);
+}
+
+TEST(ServeOptionsTest, EvictionKnobsLandInSessionConfig) {
+  std::string err;
+  const auto o = parse({{"model", "m"},
+                        {"pcap", "c"},
+                        {"ttl", "30.5"},
+                        {"max-stations", "100000"},
+                        {"max-session-mb", "64"},
+                        {"shards", "32"},
+                        {"window", "15"}},
+                       ServeOptions::Front::kServe, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->service.sessions.ttl_s, 30.5);
+  EXPECT_EQ(o->service.sessions.max_stations, 100000u);
+  EXPECT_EQ(o->service.sessions.max_bytes, 64u * 1024u * 1024u);
+  EXPECT_EQ(o->service.sessions.num_shards, 32u);
+  EXPECT_EQ(o->service.sessions.window, 15u);
+}
+
+TEST(ServeOptionsTest, ListenBranchDefaultsShedWatermarksFromQueue) {
+  std::string err;
+  const auto o = parse(
+      {{"model", "m"}, {"listen", "9000"}, {"queue", "1000"}},
+      ServeOptions::Front::kServe, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_TRUE(o->listen);
+  EXPECT_EQ(o->listen_port, 9000);
+  EXPECT_FALSE(o->publish);
+  EXPECT_EQ(o->shed_high, 900);  // 90% of the queue budget
+  EXPECT_EQ(o->shed_low, 700);   // 70%
+
+  // Explicit watermarks must keep the hysteresis invariant.
+  EXPECT_FALSE(parse({{"model", "m"},
+                      {"listen", "9000"},
+                      {"shed-high", "10"},
+                      {"shed-low", "20"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("shed-low"), std::string::npos);
+}
+
+TEST(ServeOptionsTest, PortValidation) {
+  std::string err;
+  EXPECT_FALSE(parse({{"model", "m"}, {"listen", "0"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("invalid port for --listen"), std::string::npos);
+  EXPECT_FALSE(parse({{"model", "m"}, {"listen", "70000"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(parse({{"model", "m"}, {"listen", "9000"}, {"publish", "-1"}},
+                     ServeOptions::Front::kServe, &err));
+}
+
+TEST(ServeOptionsTest, FleetForbidsFrontEndFlagsAndNeedsOnlyModel) {
+  std::string err;
+  const auto o = parse({{"model", "m"}, {"ttl", "5"}, {"max-stations", "9"}},
+                       ServeOptions::Front::kFleet, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->service.sessions.ttl_s, 5.0);
+  EXPECT_EQ(o->service.sessions.max_stations, 9u);
+
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}},
+                     ServeOptions::Front::kFleet, &err));
+  EXPECT_NE(err.find("fleet"), std::string::npos);
+  EXPECT_FALSE(parse({{"model", "m"}, {"listen", "9000"}},
+                     ServeOptions::Front::kFleet, &err));
+}
+
+TEST(ServeOptionsTest, UnknownKeysAreIgnored) {
+  // Verbs own their extra flags (fleet's --stations, drive's knobs); the
+  // shared parser must not reject them.
+  std::string err;
+  const auto o = parse(
+      {{"model", "m"}, {"pcap", "c"}, {"stations", "100000"}, {"zzz", "1"}},
+      ServeOptions::Front::kServe, &err);
+  EXPECT_TRUE(o.has_value()) << err;
+}
+
+TEST(ServeOptionsTest, StatsJsonPathPassesThrough) {
+  std::string err;
+  const auto o =
+      parse({{"model", "m"}, {"pcap", "c"}, {"stats-json", "/tmp/s.json"}},
+            ServeOptions::Front::kServe, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->stats_json, "/tmp/s.json");
+}
+
+}  // namespace
+}  // namespace deepcsi

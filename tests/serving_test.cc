@@ -352,7 +352,7 @@ TEST(AuthServiceTest, PerStationVerdictsMatchOfflineMajority) {
   for (const auto& obs : stream) ASSERT_TRUE(service.submit(obs));
   service.drain();
 
-  const serving::ServiceStats stats = service.stats();
+  const serving::StatsSnapshot stats = service.stats();
   EXPECT_EQ(stats.reports_classified, stream.size());
   EXPECT_EQ(service.sessions().num_stations(), 2u);
 
@@ -464,7 +464,7 @@ TEST(AuthServiceTest, MultiConsumerVerdictsMatchSingleConsumer) {
         serving::replay_observed(service, stream, replay);
     EXPECT_EQ(rr.accepted, stream.size());
     EXPECT_EQ(service.num_lanes(), consumers);
-    const serving::ServiceStats stats = service.stats();
+    const serving::StatsSnapshot stats = service.stats();
     EXPECT_EQ(stats.reports_classified, stream.size());
     EXPECT_EQ(stats.consumers, consumers);
     // Per-lane scheduler items must add up to the whole stream.
@@ -510,7 +510,7 @@ TEST(AuthServiceTest, RejectPolicyShedsLoadWithoutLosingAcceptedReports) {
     if (service.submit(obs)) ++accepted;
   service.drain();
 
-  const serving::ServiceStats stats = service.stats();
+  const serving::StatsSnapshot stats = service.stats();
   EXPECT_EQ(stats.reports_classified, accepted);
   EXPECT_EQ(stats.queue.rejected + accepted, stream.size());
   EXPECT_GE(accepted, 1u);  // at least the first submit fit the empty queue

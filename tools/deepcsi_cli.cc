@@ -24,8 +24,19 @@
 //       by MAC so per-station order is preserved), collects the
 //       published verdict stream, and — given --model — checks the
 //       published verdicts match the offline pipeline bit-for-bit.
+//   deepcsi fleet --model MODEL.bin [--stations N] [--reports R] ...
+//       Scale harness: synthesize feedback for N distinct beamformees
+//       through the real PHY stack (template-pooled) and soak it through
+//       the full ingest -> scheduler -> session path, with the bounded
+//       session table's TTL/LRU eviction doing the forgetting. The
+//       end-of-run block reports occupancy, eviction counters and RSS.
 //   deepcsi inspect --pcap FILE.pcap
 //       Decode VHT Compressed Beamforming frames (Wireshark-style).
+//
+// Every serving knob (--queue/--batch/--window/--shards/--ttl/...) is
+// parsed and validated by serving::ServeOptions — one shared path for
+// serve, fleet, the benches and the tests, so a malformed value fails
+// identically everywhere: diagnostic + usage + exit 2.
 //
 // The tool works on the same artifacts the examples produce (e.g.
 // examples/dataset_export emits .dcst archives and per-trace pcaps).
@@ -54,8 +65,11 @@
 #include "net/ingest_server.h"
 #include "net/publisher.h"
 #include "nn/serialize.h"
+#include "serving/fleet.h"
+#include "serving/options.h"
 #include "serving/replay.h"
 #include "serving/service.h"
+#include "serving/stats.h"
 
 namespace {
 
@@ -122,7 +136,7 @@ Args parse_args(int argc, char** argv, int from) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: deepcsi <generate|train|classify|serve|drive|inspect> [options]\n"
+               "usage: deepcsi <generate|train|classify|serve|fleet|drive|inspect> [options]\n"
                "  generate --out DIR [--modules M=10] [--positions P=3] "
                "[--snapshots N=12] [--seed S=17] [--pcap FILE.pcap]\n"
                "  train    --data FILE.dcst --out MODEL.bin [--epochs E=18] "
@@ -138,6 +152,14 @@ int usage() {
                "           [--batch B=64] [--latency-us L=2000] "
                "[--policy block|drop-oldest|reject] [--queue C=1024] "
                "[--window W=31] [--consumers K=1] [--watchdog-ms W=2000]\n"
+               "           [--shards S=8] [--ttl SECONDS=0] [--max-stations N=0] "
+               "[--max-session-mb MB=0] [--stats-json PATH]\n"
+               "  fleet    --model MODEL.bin [--stations N=100000] "
+               "[--reports R=2] [--producers P=2] [--mobile F=0.1] "
+               "[--confused F=0]\n"
+               "           [--modules M=10] [--positions P=3] [--classes C=4] "
+               "[--pool-snapshots N=1] [--snr DB=30] [--seed S=17]\n"
+               "           [+ the serve service/eviction knobs above]\n"
                "  drive    --pcap FILE.pcap --connect PORT [--subscribe PORT] "
                "[--host H=127.0.0.1] [--conns N=1]\n"
                "           [--skip N=0] [--limit N=0] [--reconnect N=0] "
@@ -341,48 +363,41 @@ void print_verdicts(const serving::AuthService& service,
                 v.last_timestamp_s);
 }
 
+// Optional machine-readable end-of-run stats: the StatsSnapshot JSON,
+// written atomically so a watcher never reads a torn file.
+void write_stats_json(const std::string& path,
+                      const serving::StatsSnapshot& stats) {
+  if (path.empty()) return;
+  try {
+    common::write_file_atomic(path, stats.render_json());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: cannot write --stats-json: %s\n", e.what());
+  }
+}
+
 // `serve --listen`: the same service, fed over TCP. Construction order
 // matters — the publisher must outlive the service because lane threads
-// call the verdict callback until drain() completes.
-int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
-  const std::uint16_t listen_port = get_port(args, "listen");
-  const bool publish = args.has("publish");
-  const std::uint16_t publish_port = publish ? get_port(args, "publish") : 0;
-  const int max_conns = args.get_int("max-conns", 64);
-  if (max_conns < 1) {
-    std::fprintf(stderr, "serve: --max-conns must be >= 1\n");
-    return 2;
-  }
-  const bool once = args.get_int("once", 0) != 0;
-  const std::string state_file = args.get("state-file");
-  const int state_interval_ms = args.get_int("state-interval-ms", 1000);
-  if (state_interval_ms < 1) {
-    std::fprintf(stderr, "serve: --state-interval-ms must be >= 1\n");
-    return 2;
-  }
-  // Queue-depth watermarks for load shedding: above --shed-high queued
+// call the verdict callback until drain() completes. All knob validation
+// already happened in ServeOptions::parse.
+int cmd_serve_listen(const Args& args, const serving::ServeOptions& o) {
+  const serving::ServiceConfig& cfg = o.service;
+  const std::string& state_file = o.state_file;
+  // Queue-depth watermarks for load shedding: above shed_high queued
   // reports, NEW connections are refused at accept (the cheapest work to
   // sacrifice — established streams keep flowing and in-flight reports
   // keep classifying); accepting resumes once depth falls back under
-  // --shed-low. The low watermark gives hysteresis so a depth hovering
-  // at the threshold does not flap the gate on every accept.
-  const int queue_budget = static_cast<int>(cfg.queue_capacity);
-  const int shed_high = args.get_int("shed-high", (queue_budget * 9) / 10);
-  const int shed_low = args.get_int("shed-low", (queue_budget * 7) / 10);
-  if (shed_high < 1 || shed_low < 0 || shed_low > shed_high) {
-    std::fprintf(stderr,
-                 "serve: need 0 <= --shed-low <= --shed-high and "
-                 "--shed-high >= 1\n");
-    return 2;
-  }
+  // shed_low. The low watermark gives hysteresis so a depth hovering at
+  // the threshold does not flap the gate on every accept.
+  const int shed_high = o.shed_high;
+  const int shed_low = o.shed_low;
 
   const core::Authenticator auth = load_authenticator(args);
 
   std::optional<net::VerdictPublisher> pub;
-  if (publish) {
+  if (o.publish) {
     net::PublisherConfig pcfg;
-    pcfg.port = publish_port;
-    pcfg.max_conns = static_cast<std::size_t>(max_conns);
+    pcfg.port = o.publish_port;
+    pcfg.max_conns = static_cast<std::size_t>(o.max_conns);
     pub.emplace(pcfg);
     pub->start();
   }
@@ -416,8 +431,8 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
 
   std::atomic<bool> shedding{false};
   net::IngestConfig icfg;
-  icfg.port = listen_port;
-  icfg.max_conns = static_cast<std::size_t>(max_conns);
+  icfg.port = o.listen_port;
+  icfg.max_conns = static_cast<std::size_t>(o.max_conns);
   icfg.accept_gate = [&service, &shedding, shed_high, shed_low] {
     const std::size_t depth = service.queue_depth();
     bool shed = shedding.load(std::memory_order_relaxed);
@@ -434,16 +449,15 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
                               });
   ingest.start();
 
-  if (args.has("port-file")) {
+  if (!o.port_file.empty()) {
     // Readiness signal for drivers racing a freshly forked server: the
     // file appears only once both sockets are bound and accepting, and
     // atomically — a racing driver reads two ports or no file, never a
     // torn line.
-    const std::string path = args.get("port-file");
     try {
       common::write_file_atomic(
-          path, std::to_string(ingest.port()) + " " +
-                    std::to_string(pub ? pub->port() : 0u) + "\n");
+          o.port_file, std::to_string(ingest.port()) + " " +
+                           std::to_string(pub ? pub->port() : 0u) + "\n");
     } catch (const std::exception& e) {
       std::fprintf(stderr, "serve: cannot write --port-file: %s\n", e.what());
       return 1;
@@ -454,7 +468,7 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
   std::printf("serve: ingest on %u%s, %zu consumer lane(s), max %d "
               "connection(s)%s\n",
               ingest.port(), publish_note.c_str(), service.num_lanes(),
-              max_conns, once ? ", exiting after first client wave" : "");
+              o.max_conns, o.once ? ", exiting after first client wave" : "");
 
   std::signal(SIGINT, on_shutdown_signal);
   std::signal(SIGTERM, on_shutdown_signal);
@@ -462,7 +476,8 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
   const auto maybe_snapshot = [&] {
     if (state_file.empty()) return;
     const auto now = std::chrono::steady_clock::now();
-    if (now - last_save < std::chrono::milliseconds(state_interval_ms)) return;
+    if (now - last_save < std::chrono::milliseconds(o.state_interval_ms))
+      return;
     try {
       service.save_sessions(state_file);
     } catch (const std::exception& e) {
@@ -470,7 +485,7 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
     }
     last_save = now;
   };
-  if (once) {
+  if (o.once) {
     while (g_interrupted == 0 &&
            !ingest.wait_until_idle_for(std::chrono::milliseconds(200)))
       maybe_snapshot();
@@ -494,7 +509,7 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
     }
   }
 
-  const serving::ServiceStats stats = service.stats();
+  serving::StatsSnapshot stats = service.stats();
   if (pub) {
     // Authoritative end-of-run state: a full verdict snapshot (covers
     // subscribers that connected after early transitions) and the final
@@ -507,124 +522,65 @@ int cmd_serve_listen(const Args& args, const serving::ServiceConfig& cfg) {
     sm.rejected = stats.queue.rejected;
     sm.throughput_rps = stats.throughput_rps;
     sm.batch_latency_p99_ms = stats.batch_latency_p99_ms;
+    sm.stations = stats.sessions.stations;
+    sm.evicted_ttl = stats.sessions.evicted_ttl;
+    sm.evicted_lru = stats.sessions.evicted_lru;
+    sm.session_bytes = stats.sessions.approx_bytes;
     pub->publish_stats(sm);
     pub->stop();
   }
 
   print_verdicts(service, cfg);
+  // The socket counters live with the socket owners; mirror them into
+  // the snapshot so the renderer (and --stats-json) sees one object.
   const net::IngestStats is = ingest.stats();
-  std::printf("\n--- serve stats ------------------------------------------\n");
-  std::printf("ingest       %llu conn(s) (%llu refused, %llu shed), %llu "
-              "frames, %llu submitted, %llu dropped, %llu malformed, %llu "
-              "protocol errors, %llu pauses\n",
-              static_cast<unsigned long long>(is.conns_accepted),
-              static_cast<unsigned long long>(is.conns_rejected),
-              static_cast<unsigned long long>(is.conns_shed),
-              static_cast<unsigned long long>(is.frames),
-              static_cast<unsigned long long>(is.reports_submitted),
-              static_cast<unsigned long long>(is.reports_dropped),
-              static_cast<unsigned long long>(is.malformed_payloads),
-              static_cast<unsigned long long>(is.protocol_errors),
-              static_cast<unsigned long long>(is.pauses));
-  std::printf("throughput   %zu classified in %.3fs (%.0f reports/s)\n",
-              stats.reports_classified, stats.wall_seconds,
-              stats.throughput_rps);
-  std::printf("latency      batch p50=%.2fms p99=%.2fms max=%.2fms\n",
-              stats.batch_latency_p50_ms, stats.batch_latency_p99_ms,
-              stats.batch_latency_max_ms);
-  std::printf("queue        peak depth %zu (budget %zu), drops: "
-              "dropped-oldest=%zu rejected=%zu, would-block=%zu\n",
-              stats.queue.peak_depth, cfg.queue_capacity,
-              stats.queue.dropped_oldest, stats.queue.rejected,
-              stats.queue.would_block);
-  // Watchdog: a lane with queued work that has stopped flushing is the
-  // one failure this block must never hide.
-  if (stats.lanes_stalled > 0) {
-    std::printf("watchdog     %zu of %zu lane(s) STALLED (>%dms without "
-                "progress while work is queued):\n",
-                stats.lanes_stalled, service.num_lanes(),
-                args.get_int("watchdog-ms", 2000));
-    for (std::size_t lane = 0; lane < service.num_lanes(); ++lane) {
-      const serving::LaneStats ls = service.lane_stats(lane);
-      if (ls.stalled)
-        std::printf("  lane %zu     depth %zu, last progress %.1fs ago\n",
-                    lane, ls.queue.depth, ls.since_progress_s);
-    }
-  } else {
-    std::printf("watchdog     all %zu lane(s) healthy\n", service.num_lanes());
-  }
+  stats.ingest.present = true;
+  stats.ingest.conns_accepted = is.conns_accepted;
+  stats.ingest.conns_rejected = is.conns_rejected;
+  stats.ingest.conns_shed = is.conns_shed;
+  stats.ingest.frames = is.frames;
+  stats.ingest.reports_submitted = is.reports_submitted;
+  stats.ingest.reports_dropped = is.reports_dropped;
+  stats.ingest.malformed_payloads = is.malformed_payloads;
+  stats.ingest.protocol_errors = is.protocol_errors;
+  stats.ingest.pauses = is.pauses;
   if (pub) {
     const net::PublisherStats ps = pub->stats();
-    std::printf("publish      %llu subscriber(s), %llu frames, %llu "
-                "slow-subscriber drops, %llu bytes\n",
-                static_cast<unsigned long long>(ps.subscribers_accepted),
-                static_cast<unsigned long long>(ps.frames_published),
-                static_cast<unsigned long long>(ps.frames_dropped),
-                static_cast<unsigned long long>(ps.bytes_sent));
+    stats.publish.present = true;
+    stats.publish.subscribers_accepted = ps.subscribers_accepted;
+    stats.publish.frames_published = ps.frames_published;
+    stats.publish.frames_dropped = ps.frames_dropped;
+    stats.publish.bytes_sent = ps.bytes_sent;
   }
-  std::printf("----------------------------------------------------------\n");
+  std::printf("\n%s", stats.render_text().c_str());
+  write_stats_json(o.stats_json, stats);
   return stats.reports_classified > 0 ? 0 : 1;
 }
 
 int cmd_serve(const Args& args) {
-  if (!args.has("model") || (!args.has("pcap") && !args.has("listen")))
+  // ONE parse-and-validate path for every serving knob (shared with the
+  // fleet verb, the benches and the tests): a bad flag fails fast with a
+  // diagnostic + usage, before the model or capture is touched.
+  std::string err;
+  const std::optional<serving::ServeOptions> parsed =
+      serving::ServeOptions::parse(args.named,
+                                   serving::ServeOptions::Front::kServe, &err);
+  if (!parsed) {
+    std::fprintf(stderr, "serve: %s\n", err.c_str());
     return usage();
-  if (args.has("pcap") && args.has("listen")) {
-    std::fprintf(stderr, "serve: --pcap and --listen are mutually exclusive\n");
-    return 2;
   }
+  const serving::ServeOptions& o = *parsed;
+  const serving::ServiceConfig& cfg = o.service;
 
-  // Validate every knob before touching the model or capture: a bad flag
-  // should fail fast with a usage error, not after a weights load.
-  const int queue_capacity = args.get_int("queue", 1024);
-  const int max_batch = args.get_int("batch", 64);
-  const int latency_us = args.get_int("latency-us", 2000);
-  const int window = args.get_int("window", 31);
-  const int consumers = args.get_int("consumers", 1);
-  if (queue_capacity < 1 || max_batch < 1 || latency_us < 0 || window < 1 ||
-      consumers < 1) {
-    std::fprintf(stderr,
-                 "serve: --queue/--batch/--window/--consumers must be >= 1 "
-                 "and --latency-us >= 0\n");
-    return 2;
-  }
-  serving::ServiceConfig cfg;
-  cfg.queue_capacity = static_cast<std::size_t>(queue_capacity);
-  cfg.scheduler.max_batch = static_cast<std::size_t>(max_batch);
-  cfg.scheduler.max_latency = std::chrono::microseconds(latency_us);
-  cfg.sessions.window = static_cast<std::size_t>(window);
-  cfg.consumers = static_cast<std::size_t>(consumers);
-  const int watchdog_ms = args.get_int("watchdog-ms", 2000);
-  if (watchdog_ms < 1) {
-    std::fprintf(stderr, "serve: --watchdog-ms must be >= 1\n");
-    return 2;
-  }
-  cfg.watchdog_stall = std::chrono::milliseconds(watchdog_ms);
-  const std::string policy = args.get("policy", "block");
-  if (policy == "block") {
-    cfg.policy = common::OverflowPolicy::kBlock;
-  } else if (policy == "drop-oldest") {
-    cfg.policy = common::OverflowPolicy::kDropOldest;
-  } else if (policy == "reject") {
-    cfg.policy = common::OverflowPolicy::kReject;
-  } else {
-    std::fprintf(stderr, "serve: unknown --policy '%s'\n", policy.c_str());
-    return 2;
-  }
-
-  if (args.has("listen")) return cmd_serve_listen(args, cfg);
+  if (o.listen) return cmd_serve_listen(args, o);
 
   serving::ReplayConfig replay;
-  replay.loops = args.get_int("loop", 1);
-  replay.producers = args.get_int("producers", 1);
-  replay.rate_rps = args.get_double("rate", 0.0);
-  if (replay.loops < 1 || replay.producers < 1 || replay.rate_rps < 0.0) {
-    std::fprintf(stderr, "serve: --loop/--producers/--rate out of range\n");
-    return 2;
-  }
+  replay.loops = o.loops;
+  replay.producers = o.producers;
+  replay.rate_rps = o.rate_rps;
 
   const core::Authenticator auth = load_authenticator(args);
-  const auto packets = capture::read_pcap(args.get("pcap"));
+  const auto packets = capture::read_pcap(o.pcap);
   const auto observed = capture::observe_feedback(packets, std::nullopt);
   if (observed.empty()) {
     std::printf("serve: no decodable beamforming feedback in capture\n");
@@ -637,51 +593,104 @@ int cmd_serve(const Args& args) {
                  "--producers %d clamped to --loop %d\n",
                  replay.producers, replay.loops);
   std::printf("serve: %zu reports/loop x %d loop(s), %d producer(s), "
-              "%d consumer lane(s), policy=%s, batch<=%zu, latency<=%dus\n",
+              "%zu consumer lane(s), policy=%s, batch<=%zu, latency<=%ldus\n",
               observed.size(), replay.loops,
-              std::min(replay.producers, replay.loops), consumers,
-              policy.c_str(), cfg.scheduler.max_batch, latency_us);
+              std::min(replay.producers, replay.loops), cfg.consumers,
+              args.get("policy", "block").c_str(), cfg.scheduler.max_batch,
+              static_cast<long>(cfg.scheduler.max_latency.count()));
 
   serving::AuthService service(auth, cfg);
   const serving::ReplayResult rr =
       serving::replay_observed(service, observed, replay);
-  const serving::ServiceStats stats = service.stats();
+  serving::StatsSnapshot stats = service.stats();
+  stats.reports_offered = rr.offered;
+  stats.reports_accepted = rr.accepted;
 
   print_verdicts(service, cfg);
+  std::printf("\n%s", stats.render_text().c_str());
+  write_stats_json(o.stats_json, stats);
+  return stats.reports_classified > 0 ? 0 : 1;
+}
 
-  // End-of-run stats block: everything backpressure tuning needs (queue
-  // high-water, drops by policy, what flushed each batch, tail latency)
-  // without reaching for the bench.
-  std::printf("\n--- serve stats ------------------------------------------\n");
-  std::printf("throughput   %zu/%zu reports accepted, %zu classified in "
-              "%.3fs (%.0f reports/s)\n",
-              rr.accepted, rr.offered, stats.reports_classified,
-              stats.wall_seconds, stats.throughput_rps);
-  std::printf("batches      %zu total: by-size=%zu by-deadline=%zu "
-              "drain=%zu, largest=%zu\n",
-              stats.scheduler.batches, stats.scheduler.flush_full,
-              stats.scheduler.flush_deadline, stats.scheduler.flush_drain,
-              stats.scheduler.max_batch_seen);
-  std::printf("latency      batch p50=%.2fms p99=%.2fms max=%.2fms\n",
-              stats.batch_latency_p50_ms, stats.batch_latency_p99_ms,
-              stats.batch_latency_max_ms);
-  std::printf("queue        peak depth %zu (budget %zu), drops: "
-              "dropped-oldest=%zu rejected=%zu\n",
-              stats.queue.peak_depth, cfg.queue_capacity,
-              stats.queue.dropped_oldest, stats.queue.rejected);
-  if (service.num_lanes() > 1) {
-    for (std::size_t lane = 0; lane < service.num_lanes(); ++lane) {
-      const serving::LaneStats ls = service.lane_stats(lane);
-      std::printf("  lane %zu     %zu reports in %zu batches "
-                  "(size/deadline/drain=%zu/%zu/%zu), queue peak %zu, "
-                  "dropped=%zu rejected=%zu\n",
-                  lane, ls.scheduler.items, ls.scheduler.batches,
-                  ls.scheduler.flush_full, ls.scheduler.flush_deadline,
-                  ls.scheduler.flush_drain, ls.queue.peak_depth,
-                  ls.queue.dropped_oldest, ls.queue.rejected);
-    }
+// Decodes a MacAddress minted by MacAddress::for_fleet_station back to
+// its station id; nullopt for anything outside the fleet OUI.
+std::optional<std::uint64_t> fleet_station_id(const capture::MacAddress& mac) {
+  if (mac.octets[0] != 0xDA || mac.octets[1] != 0x7A) return std::nullopt;
+  return (static_cast<std::uint64_t>(mac.octets[2]) << 24) |
+         (static_cast<std::uint64_t>(mac.octets[3]) << 16) |
+         (static_cast<std::uint64_t>(mac.octets[4]) << 8) |
+         static_cast<std::uint64_t>(mac.octets[5]);
+}
+
+// `deepcsi fleet`: PHY-driven scale soak. Generates feedback for N
+// distinct stations (template-pooled through the real pipeline) and
+// pushes all of it through the full service path; the end-of-run block
+// shows what the bounded session table did about it.
+int cmd_fleet(const Args& args) {
+  std::string err;
+  const std::optional<serving::ServeOptions> parsed =
+      serving::ServeOptions::parse(args.named,
+                                   serving::ServeOptions::Front::kFleet, &err);
+  if (!parsed) {
+    std::fprintf(stderr, "fleet: %s\n", err.c_str());
+    return usage();
   }
-  std::printf("----------------------------------------------------------\n");
+  const serving::ServeOptions& o = *parsed;
+
+  serving::FleetConfig fc;
+  const int stations = args.get_int("stations", 100000);
+  const int reports = args.get_int("reports", 2);
+  fc.modules = args.get_int("modules", fc.modules);
+  fc.positions = args.get_int("positions", fc.positions);
+  fc.station_classes = args.get_int("classes", fc.station_classes);
+  fc.mobile_fraction = args.get_double("mobile", fc.mobile_fraction);
+  fc.confusion_fraction = args.get_double("confused", fc.confusion_fraction);
+  fc.snapshots_per_template =
+      args.get_int("pool-snapshots", fc.snapshots_per_template);
+  fc.snr_db = args.get_double("snr", fc.snr_db);
+  fc.seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
+  const int producers = args.get_int("producers", 2);
+  if (stations < 1 || reports < 1 || producers < 1 || fc.modules < 1 ||
+      fc.modules > phy::kNumModules || fc.positions < 1 ||
+      fc.positions > phy::kNumBeamformeePositions || fc.station_classes < 1 ||
+      fc.snapshots_per_template < 1 || fc.mobile_fraction < 0.0 ||
+      fc.mobile_fraction > 1.0 || fc.confusion_fraction < 0.0 ||
+      fc.confusion_fraction > 1.0) {
+    std::fprintf(stderr, "fleet: parameters out of range\n");
+    return 2;
+  }
+  fc.stations = static_cast<std::uint64_t>(stations);
+  fc.reports_per_station = static_cast<std::size_t>(reports);
+
+  const core::Authenticator auth = load_authenticator(args);
+  const serving::FleetGenerator gen(fc);
+  std::printf("fleet: %d station(s) x %d report(s) over %zu pipeline "
+              "template(s), %d producer(s), %zu lane(s), %zu shard(s)\n",
+              stations, reports, gen.num_templates(), producers,
+              o.service.consumers, o.service.sessions.num_shards);
+
+  serving::AuthService service(auth, o.service);
+  const serving::FleetRunStats fr = serving::run_fleet(service, gen, producers);
+  serving::StatsSnapshot stats = service.stats();
+  stats.reports_offered = fr.offered;
+  stats.reports_accepted = fr.accepted;
+
+  // Verdict quality over the SURVIVING stations (eviction decides who
+  // that is): agreement with each station's ground-truth module.
+  std::size_t live = 0, agree = 0;
+  for (const serving::StationVerdict& v : service.sessions().snapshot()) {
+    const std::optional<std::uint64_t> id = fleet_station_id(v.station);
+    if (!id) continue;
+    ++live;
+    if (v.module_id == gen.expected_module(*id)) ++agree;
+  }
+  std::printf("fleet: %zu station(s) resident after the run, verdict "
+              "agreement %.1f%%\n",
+              live, live > 0 ? 100.0 * static_cast<double>(agree) /
+                                   static_cast<double>(live)
+                             : 0.0);
+  std::printf("\n%s", stats.render_text().c_str());
+  write_stats_json(o.stats_json, stats);
   return stats.reports_classified > 0 ? 0 : 1;
 }
 
@@ -937,6 +946,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(args);
     if (cmd == "classify") return cmd_classify(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "fleet") return cmd_fleet(args);
     if (cmd == "drive") return cmd_drive(args);
     if (cmd == "inspect") return cmd_inspect(args);
   } catch (const std::exception& e) {
