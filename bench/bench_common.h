@@ -18,6 +18,7 @@
 #include "core/pipeline.h"
 #include "dataset/scale.h"
 #include "dataset/splits.h"
+#include "nn/gemm.h"
 #include "nn/simd.h"
 
 namespace deepcsi::bench {
@@ -96,11 +97,19 @@ class BenchReport {
 // contract; recorded as the bool metric "backend_verdicts_match").
 // Restores the previously active backend. Returns false when verdicts
 // diverged — callers ride that on their exit code.
+//
+// Honesty check for the quantized backend: while measuring avx2_int8
+// the int8 driver dispatch counter (nn/gemm.h) must move — an "int8"
+// row that silently ran the fp32 path (uncalibrated model, stale
+// context pool) would invalidate the comparison, so it fails the sweep
+// instead. `rates` (optional) receives each backend's measured rate so
+// callers can gate ratios (bench_infer's >= 2x int8-vs-fp32 gate).
 template <typename MeasureFn, typename ClassifyFn>
 bool sweep_simd_backends(
     BenchReport& report, const std::string& metric,
     std::vector<std::pair<std::string, double>> extra_attrs,
-    MeasureFn&& measure, ClassifyFn&& classify) {
+    MeasureFn&& measure, ClassifyFn&& classify,
+    std::vector<std::pair<simd::Backend, double>>* rates = nullptr) {
   const std::vector<simd::Backend> backends = simd::available_backends();
   if (backends.size() < 2)
     std::printf("NOTE: avx2 backend unavailable on this host — %s has only "
@@ -109,10 +118,19 @@ bool sweep_simd_backends(
   const simd::Backend saved = simd::active();
   double scalar_rate = 0.0;
   bool verdicts_match = true;
+  bool int8_honest = true;
   std::vector<core::Authenticator::Prediction> reference;
   for (const simd::Backend backend : backends) {
     simd::set_active(backend);
+    const std::uint64_t int8_before = nn::int8_kernel_dispatches();
     const double rate = measure();
+    if (backend == simd::Backend::kAvx2Int8 &&
+        nn::int8_kernel_dispatches() == int8_before) {
+      std::printf("  %-10s FAIL: int8 kernels never dispatched (uncalibrated "
+                  "model or stale context pool?)\n",
+                  simd::name(backend));
+      int8_honest = false;
+    }
     if (backend == simd::Backend::kScalar) scalar_rate = rate;
     std::printf("  %-10s %14.1f reports/s  (%.2fx scalar)\n",
                 simd::name(backend), rate,
@@ -121,6 +139,7 @@ bool sweep_simd_backends(
     attrs.insert(attrs.begin(),
                  {"backend", static_cast<double>(backend)});
     report.add_metric(metric, rate, "reports/s", std::move(attrs));
+    if (rates != nullptr) rates->push_back({backend, rate});
     const std::vector<core::Authenticator::Prediction> preds = classify();
     if (reference.empty()) {
       reference = preds;
@@ -136,7 +155,7 @@ bool sweep_simd_backends(
   report.add_metric("backend_verdicts_match", verdicts_match ? 1.0 : 0.0,
                     "bool");
   std::fflush(stdout);
-  return verdicts_match;
+  return verdicts_match && int8_honest;
 }
 
 inline void print_header(const std::string& figure, const std::string& what) {

@@ -9,8 +9,12 @@
 //   - serving_consumer_throughput: AuthService classified reports/s at
 //     1 / 2 / 4 consumer lanes
 //   - forward_backend_throughput: pure single-thread forward-pass
-//     reports/s per SIMD backend (scalar vs avx2) — the per-core kernel
-//     speed the DEEPCSI_SIMD dispatch layer buys
+//     reports/s per SIMD backend (scalar / avx2 / avx2_int8) — the
+//     per-core kernel speed the DEEPCSI_SIMD dispatch layer buys; rows
+//     with paper_model=1 measure the paper architecture
+//   - int8_speedup_vs_avx2: avx2_int8 over fp32 avx2; the paper_model=1
+//     row gates the exit code at >= 2x (see that section for why the
+//     quick-scale row is reported, not gated)
 //   - backend_verdicts_match: classify verdicts agree across backends
 //     (rides the exit code alongside the bitwise check below)
 //   - context_matches_legacy: logits of the const forward are bitwise
@@ -20,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,8 +36,10 @@
 #include "core/pipeline.h"
 #include "dataset/features.h"
 #include "dataset/traces.h"
+#include "nn/gemm.h"
 #include "nn/infer.h"
 #include "nn/loss.h"
+#include "nn/quantize.h"
 #include "nn/simd.h"
 #include "phy/impairments.h"
 #include "serving/replay.h"
@@ -191,12 +198,26 @@ int main() {
         static_cast<int>(dataset::num_input_columns(spec)), phy::kNumModules,
         model_cfg);
   };
-  const core::Authenticator auth(build(), spec);
+  core::Authenticator auth(build(), spec);
   nn::Sequential legacy_model = build();
 
   const std::size_t batch = batch_from_env();
   const auto reports = make_reports(batch);
   const int reps = dataset::full_scale_selected() ? 8 : 24;
+
+  // Calibrate the int8 activation ranges on the exact report features
+  // this bench classifies (absmax measured, nothing clamped), so the
+  // avx2_int8 rows below run genuinely quantized layers and the
+  // cross-backend verdict check exercises the accuracy-parity contract.
+  {
+    const std::size_t c =
+        static_cast<std::size_t>(dataset::num_input_channels(spec));
+    const std::size_t w = dataset::num_input_columns(spec);
+    nn::Tensor features({reports.size(), c, 1, w});
+    for (std::size_t i = 0; i < reports.size(); ++i)
+      dataset::fill_features(reports[i], spec, features.data() + i * c * w);
+    auth.calibrate_int8(features);
+  }
 
   // ---- forward-path comparison ------------------------------------------
   const bool identical =
@@ -229,7 +250,11 @@ int main() {
   // Pure single-thread forward passes through one InferenceContext: the
   // per-core kernel throughput each backend delivers, uncontaminated by
   // feature assembly or threading. The avx2/scalar ratio is the dispatch
-  // layer's headline number.
+  // layer's headline number. The avx2_int8/avx2 ratio at this (CI-sized)
+  // model is a reported metric only — the >= 2x perf gate runs on the
+  // paper architecture below, where the forward is GEMM-dominated. The
+  // cross-backend verdict agreement DOES gate here, on the bench's real
+  // report features.
   {
     const int saved_threads = common::num_threads();
     common::set_num_threads(1);
@@ -240,27 +265,136 @@ int main() {
     for (std::size_t i = 0; i < reports.size(); ++i)
       dataset::fill_features(reports[i], spec, bctx.input() + i * c * w);
 
-    std::printf("\nsingle-thread forward pass per SIMD backend (batch %zu):\n",
-                reports.size());
-    const bool verdicts_match = bench::sweep_simd_backends(
-        report, "forward_backend_throughput", {{"threads", 1.0}},
-        [&] {
-          // This ratio is the PR's headline number and the noisiest
-          // thing on shared runners — run it 8x longer than the other
-          // sections and keep the best of 3 windows so scheduler steal
-          // doesn't write a phantom regression into the trajectory.
-          double rps = 0.0;
-          for (int window = 0; window < 3; ++window)
-            rps = std::max(rps, measure_reports_per_second(
-                                    reports.size(), 8 * reps,
-                                    [&] { bctx.run(reports.size()); }));
-          return rps;
-        },
-        [&] { return auth.classify_batch(reports); });
+    bool sweeps_ok = true;
+    for (const std::size_t n : {std::size_t{1}, reports.size()}) {
+      std::printf(
+          "\nsingle-thread forward pass per SIMD backend (batch %zu):\n", n);
+      std::vector<std::pair<simd::Backend, double>> rates;
+      const bool ok = bench::sweep_simd_backends(
+          report, "forward_backend_throughput",
+          {{"threads", 1.0}, {"batch", static_cast<double>(n)}},
+          [&] {
+            // These ratios are headline numbers and the noisiest thing
+            // on shared runners — run 8x longer than the other sections
+            // and keep the best of 3 windows so scheduler steal doesn't
+            // write a phantom regression into the trajectory.
+            double rps = 0.0;
+            for (int window = 0; window < 3; ++window)
+              rps = std::max(rps, measure_reports_per_second(
+                                      n, 8 * reps, [&] { bctx.run(n); }));
+            return rps;
+          },
+          [&] { return auth.classify_batch(reports); }, &rates);
+      sweeps_ok = sweeps_ok && ok;
+      if (n != reports.size()) continue;
+      double fp32 = 0.0, int8 = 0.0;
+      for (const auto& [backend, rate] : rates) {
+        if (backend == simd::Backend::kAvx2) fp32 = rate;
+        if (backend == simd::Backend::kAvx2Int8) int8 = rate;
+      }
+      if (fp32 > 0.0 && int8 > 0.0) {
+        const double ratio = int8 / fp32;
+        std::printf("int8 speedup over fp32 avx2 at batch %zu: %.2fx "
+                    "(reported; the >= 2x gate runs on the paper model)\n",
+                    n, ratio);
+        report.add_metric("int8_speedup_vs_avx2", ratio, "x",
+                          {{"batch", static_cast<double>(n)},
+                           {"paper_model", 0.0}});
+      }
+    }
     common::set_num_threads(saved_threads);
-    if (!verdicts_match) {
+    if (!sweeps_ok) {
       report.write_json();
       return 1;
+    }
+  }
+
+  // ---- int8 perf gate: paper architecture -------------------------------
+  // The >= 2x single-thread gate measures the PAPER model (5 convs x 128
+  // filters, kernels {7,7,7,5,3}, ~489k params) at the full 234-column
+  // input width, untrained and calibrated on synthetic activations. At
+  // the CI quick scale roughly half the forward is non-GEMM work (SELU,
+  // pools, attention, feature plumbing), so a 2x whole-forward speedup
+  // is out of reach for ANY GEMM kernel there — the quick-scale ratio
+  // above is reported, not gated. The paper forward is ~77% conv GEMM,
+  // which is the workload the int8 backend exists for. Accuracy parity
+  // is gated separately: the cross-backend verdict check above runs on
+  // real report features, and tests/quantize_test.cc pins the kernels
+  // bit-identical to the scalar reference.
+  {
+    std::vector<simd::Backend> avail = simd::available_backends();
+    const bool has_avx2 =
+        std::find(avail.begin(), avail.end(), simd::Backend::kAvx2Int8) !=
+        avail.end();
+    if (!has_avx2) {
+      std::printf("\nint8 paper-model gate: skipped (avx2_int8 unavailable "
+                  "on this host/build)\n");
+    } else {
+      const int saved_threads = common::num_threads();
+      const simd::Backend saved_backend = simd::active();
+      common::set_num_threads(1);
+      dataset::InputSpec paper_spec;  // full subcarrier width
+      const std::size_t c =
+          static_cast<std::size_t>(dataset::num_input_channels(paper_spec));
+      const std::size_t w = dataset::num_input_columns(paper_spec);
+      nn::Sequential paper = core::build_deepcsi_model(
+          static_cast<int>(c), static_cast<int>(w), phy::kNumModules,
+          core::paper_model_config());
+      const std::size_t gate_batch = 64;
+      nn::Tensor gate_x({gate_batch, c, 1, w});
+      std::mt19937_64 rng(4242);
+      std::normal_distribution<float> dist(0.0f, 1.0f);
+      for (std::size_t i = 0; i < gate_x.numel(); ++i)
+        gate_x.data()[i] = dist(rng);
+      nn::apply_calibration(paper,
+                            nn::calibrate_input_ranges(paper, gate_x));
+      nn::SharedModel paper_model(std::move(paper));
+
+      double fp32 = 0.0, int8 = 0.0;
+      bool int8_honest = true;
+      for (const simd::Backend backend :
+           {simd::Backend::kAvx2, simd::Backend::kAvx2Int8}) {
+        simd::set_active(backend);
+        nn::InferenceContext pctx(paper_model, {c, 1, w}, gate_batch);
+        std::copy(gate_x.data(), gate_x.data() + gate_x.numel(),
+                  pctx.input());
+        const std::uint64_t int8_before = nn::int8_kernel_dispatches();
+        double rps = 0.0;
+        for (int window = 0; window < 3; ++window)
+          rps = std::max(rps, measure_reports_per_second(
+                                  gate_batch, 5, [&] { pctx.run(gate_batch); }));
+        if (backend == simd::Backend::kAvx2) {
+          fp32 = rps;
+        } else {
+          int8 = rps;
+          int8_honest = nn::int8_kernel_dispatches() > int8_before;
+        }
+        std::printf("%spaper model single-thread forward (%s, batch %zu): "
+                    "%10.1f reports/s\n",
+                    backend == simd::Backend::kAvx2 ? "\n" : "",
+                    simd::name(backend), gate_batch, rps);
+        report.add_metric("forward_backend_throughput", rps, "reports/s",
+                          {{"threads", 1.0},
+                           {"batch", static_cast<double>(gate_batch)},
+                           {"backend", static_cast<double>(backend)},
+                           {"paper_model", 1.0}});
+      }
+      simd::set_active(saved_backend);
+      common::set_num_threads(saved_threads);
+
+      const double ratio = fp32 > 0.0 ? int8 / fp32 : 0.0;
+      const bool gate_ok = ratio >= 2.0 && int8_honest;
+      std::printf("int8 speedup over fp32 avx2, paper model: %.2fx  "
+                  "(gate >= 2.00x): %s%s\n",
+                  ratio, gate_ok ? "pass" : "FAIL",
+                  int8_honest ? "" : " [int8 kernels never dispatched]");
+      report.add_metric("int8_speedup_vs_avx2", ratio, "x",
+                        {{"batch", static_cast<double>(gate_batch)},
+                         {"paper_model", 1.0}});
+      if (!gate_ok) {
+        report.write_json();
+        return 1;
+      }
     }
   }
 

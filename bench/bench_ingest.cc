@@ -162,6 +162,25 @@ bool run_ingest_throughput(bench::BenchReport& report) {
   const auto cfg = feedback::mu_mimo_codebook_high();
   const int original_threads = common::num_threads();
 
+  // Calibrate the int8 activation ranges on the bench's own traffic so
+  // the avx2_int8 row of the backend sweep exercises the quantized
+  // kernels (uncalibrated models degrade to fp32 and the sweep's
+  // honesty check would fail the run).
+  {
+    const std::size_t c =
+        static_cast<std::size_t>(dataset::num_input_channels(spec));
+    const std::size_t w = dataset::num_input_columns(spec);
+    nn::Tensor features({distinct.size(), c, 1, w});
+    for (std::size_t i = 0; i < distinct.size(); ++i) {
+      const auto f = capture::BeamformingActionFrame::parse(distinct[i]);
+      DEEPCSI_CHECK(f.has_value());
+      const auto r = feedback::unpack_report(f->report, f->mimo_control.nr,
+                                             f->mimo_control.nc, sc, cfg);
+      dataset::fill_features(r, spec, features.data() + i * c * w);
+    }
+    auth.calibrate_int8(features);
+  }
+
   // Per-stage rates at 1 thread (per report, full 234-sc decode).
   common::set_num_threads(1);
   {

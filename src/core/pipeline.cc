@@ -157,6 +157,24 @@ void Authenticator::load(const std::string& path) {
   nn::load_weights(model_.mutable_graph(), path);
 }
 
+std::vector<nn::CalibrationEntry> Authenticator::calibrate_int8(
+    const tensor::Tensor& samples) {
+  std::vector<nn::CalibrationEntry> entries =
+      nn::calibrate_input_ranges(model_.mutable_graph(), samples);
+  apply_int8_calibration(entries);
+  return entries;
+}
+
+void Authenticator::apply_int8_calibration(
+    const std::vector<nn::CalibrationEntry>& entries) {
+  nn::apply_calibration(model_.mutable_graph(), entries);
+  // Contexts planned before calibration lack the int8 arena slices (the
+  // layers DEEPCSI_CHECK against running int8 on one) — rebuild the pool
+  // so every future lease plans them.
+  pool_ = std::make_unique<nn::ContextPool>(model_, sample_shape_for(spec_),
+                                            kContextBatch);
+}
+
 void save_model_meta(const std::string& weights_path,
                      const std::map<std::string, int>& meta) {
   std::string text;

@@ -14,6 +14,7 @@
 #include "dataset/splits.h"
 #include "nn/infer.h"
 #include "nn/metrics.h"
+#include "nn/quantize.h"
 #include "nn/trainer.h"
 
 namespace deepcsi::core {
@@ -95,6 +96,19 @@ class Authenticator {
   // The caller must construct the Authenticator with the same architecture
   // before loading (shape mismatches throw).
   void load(const std::string& path);
+
+  // INT8 calibration (nn/quantize.h). Both attach quantized weights to
+  // the Conv2d/Dense layers and rebuild the context pool so new leases
+  // plan the int8 arena slices. NOT thread-safe — like model()/load(),
+  // run before serving starts or after it drains.
+  //
+  // Measure activation ranges on `samples` ([N, C, 1, W] feature
+  // tensors, normally the training set) and apply them; returns the
+  // entries for persisting via nn::save_calibration.
+  std::vector<nn::CalibrationEntry> calibrate_int8(
+      const tensor::Tensor& samples);
+  // Apply previously-measured entries (a loaded sidecar).
+  void apply_int8_calibration(const std::vector<nn::CalibrationEntry>& entries);
 
  private:
   nn::SharedModel model_;

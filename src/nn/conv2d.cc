@@ -26,6 +26,54 @@ TapSpan tap_span(std::ptrdiff_t d, std::size_t size) {
   return s;
 }
 
+// im2col: column row (ci, i, j) holds x[ci] shifted by the tap offset,
+// `pad` outside the image (0.0f for fp32, byte 128 — the u8 encoding of
+// 0.0f — for the quantized path). Rows are independent, so the
+// (sample, tap) space parallelizes directly.
+template <typename T>
+void im2col_impl(const T* x, T pad, std::size_t n_batch, std::size_t hh,
+                 std::size_t ww, std::size_t in_channels, std::size_t kh,
+                 std::size_t kw, std::size_t pad_h, std::size_t pad_w,
+                 T* cols) {
+  const std::size_t hw = hh * ww;
+  const std::size_t ckk = in_channels * kh * kw;
+  common::parallel_for(
+      0, n_batch * ckk, common::grain_for(hw),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const std::size_t n = r / ckk, q = r % ckk;
+          const std::size_t ci = q / (kh * kw);
+          const std::size_t i = (q / kw) % kh, j = q % kw;
+          const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
+                                    static_cast<std::ptrdiff_t>(pad_h);
+          const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
+                                    static_cast<std::ptrdiff_t>(pad_w);
+          const TapSpan hs = tap_span(dh, hh), ws = tap_span(dw, ww);
+          const T* __restrict x_plane = x + (n * in_channels + ci) * hw;
+          T* __restrict col_row = cols + r * hw;
+          // Fill only the padding border (rows outside the tap's valid
+          // h span, plus the short w margins) instead of pre-filling the
+          // whole row and overwriting its interior — for 'same' padding
+          // the border is a few columns wide, so this roughly halves
+          // im2col's store traffic. Identical output bytes.
+          std::fill(col_row, col_row + hs.lo * ww, pad);
+          std::fill(col_row + hs.hi * ww, col_row + hw, pad);
+          for (std::size_t h = hs.lo; h < hs.hi; ++h) {
+            const std::size_t h_in =
+                static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
+            // Index with the signed tap offset — never form a pointer
+            // before the plane (w + dw >= 0 for w >= ws.lo).
+            const T* __restrict src = x_plane + h_in * ww;
+            T* __restrict dst = col_row + h * ww;
+            std::fill(dst, dst + ws.lo, pad);
+            std::fill(dst + ws.hi, dst + ww, pad);
+            for (std::size_t w = ws.lo; w < ws.hi; ++w)
+              dst[w] = src[static_cast<std::ptrdiff_t>(w) + dw];
+          }
+        }
+      });
+}
+
 }  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
@@ -44,48 +92,22 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   bias_.value.zero();
 }
 
-// im2col: column row (ci, i, j) holds x[ci] shifted by the tap offset,
-// zero outside the image. Rows are independent, so the (sample, tap)
-// space parallelizes directly.
 void Conv2d::im2col_into(const float* x, std::size_t n_batch, std::size_t hh,
                          std::size_t ww, float* cols) const {
-  const std::size_t hw = hh * ww;
-  const std::size_t ckk = in_channels_ * kh_ * kw_;
-  common::parallel_for(
-      0, n_batch * ckk, common::grain_for(hw),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t r = lo; r < hi; ++r) {
-          const std::size_t n = r / ckk, q = r % ckk;
-          const std::size_t ci = q / (kh_ * kw_);
-          const std::size_t i = (q / kw_) % kh_, j = q % kw_;
-          const std::ptrdiff_t dh = static_cast<std::ptrdiff_t>(i) -
-                                    static_cast<std::ptrdiff_t>(pad_h_);
-          const std::ptrdiff_t dw = static_cast<std::ptrdiff_t>(j) -
-                                    static_cast<std::ptrdiff_t>(pad_w_);
-          const TapSpan hs = tap_span(dh, hh), ws = tap_span(dw, ww);
-          const float* __restrict x_plane = x + (n * in_channels_ + ci) * hw;
-          float* __restrict col_row = cols + r * hw;
-          // Zero only the padding border (rows outside the tap's valid
-          // h span, plus the short w margins) instead of pre-filling the
-          // whole row and overwriting its interior — for 'same' padding
-          // the border is a few columns wide, so this roughly halves
-          // im2col's store traffic. Identical output bytes.
-          std::fill(col_row, col_row + hs.lo * ww, 0.0f);
-          std::fill(col_row + hs.hi * ww, col_row + hw, 0.0f);
-          for (std::size_t h = hs.lo; h < hs.hi; ++h) {
-            const std::size_t h_in =
-                static_cast<std::size_t>(static_cast<std::ptrdiff_t>(h) + dh);
-            // Index with the signed tap offset — never form a pointer
-            // before the plane (w + dw >= 0 for w >= ws.lo).
-            const float* __restrict src = x_plane + h_in * ww;
-            float* __restrict dst = col_row + h * ww;
-            std::fill(dst, dst + ws.lo, 0.0f);
-            std::fill(dst + ws.hi, dst + ww, 0.0f);
-            for (std::size_t w = ws.lo; w < ws.hi; ++w)
-              dst[w] = src[static_cast<std::ptrdiff_t>(w) + dw];
-          }
-        }
-      });
+  im2col_impl(x, 0.0f, n_batch, hh, ww, in_channels_, kh_, kw_, pad_h_, pad_w_,
+              cols);
+}
+
+void Conv2d::im2col_u8_into(const std::uint8_t* x, std::size_t n_batch,
+                            std::size_t hh, std::size_t ww,
+                            std::uint8_t* cols) const {
+  im2col_impl(x, std::uint8_t{128}, n_batch, hh, ww, in_channels_, kh_, kw_,
+              pad_h_, pad_w_, cols);
+}
+
+void Conv2d::prepare_int8(float input_absmax) {
+  qw_ = quantize_weights(weight_.value.data(), out_channels_,
+                         in_channels_ * kh_ * kw_, input_absmax);
 }
 
 void Conv2d::im2col(const Tensor& x, std::vector<float>& cols) const {
@@ -144,13 +166,59 @@ void Conv2d::plan_inference(InferencePlan& plan) const {
   const std::size_t n = plan.in_shape.dim(0);
   const std::size_t hh = plan.in_shape.dim(2), ww = plan.in_shape.dim(3);
   plan.out_shape = {n, out_channels_, hh, ww};
-  // One scratch slice: the im2col columns [N][Cin*kh*kw][H*W].
-  plan.scratch_numel = {n * in_channels_ * kh_ * kw_ * hh * ww};
+  const std::size_t hw = hh * ww;
+  const std::size_t ckk = in_channels_ * kh_ * kw_;
+  // Slice [0]: the fp32 im2col columns [N][Cin*kh*kw][H*W].
+  plan.scratch_numel = {n * ckk * hw};
+  if (qw_.valid()) {
+    // Calibrated layer: stage the quantized path's byte buffers in the
+    // arena too (sizes in floats, rounded up), so int8 steady state is
+    // as allocation-free as fp32. [1] u8 input planes, [2] u8 columns,
+    // [3] the oct-packed GEMM panel (k zero-padded to 8 * ko, columns
+    // padded to a multiple of 8 — see conv_s8u8_batched).
+    auto bytes_as_floats = [](std::size_t b) { return (b + 3) / 4; };
+    const std::size_t hw_padded = (hw + 7) & ~std::size_t{7};
+    plan.scratch_numel.push_back(bytes_as_floats(n * in_channels_ * hw));
+    // Width convs (kh == 1 over height-1 inputs — every conv in the
+    // paper model) pack the panel straight from the input planes
+    // (conv_s8u8_batched_w), so the u8 im2col slice is not needed.
+    const bool width_conv = kh_ == 1 && plan.in_shape.dim(2) == 1;
+    plan.scratch_numel.push_back(width_conv ? 0 : bytes_as_floats(n * ckk * hw));
+    plan.scratch_numel.push_back(bytes_as_floats(n * 8 * qw_.ko * hw_padded));
+  }
 }
 
 void Conv2d::forward_into(const InferArgs& args) const {
   const std::size_t n = args.x.dim(0), hh = args.x.dim(2),
                     ww = args.x.dim(3);
+  if (qw_.valid() && simd::active() == simd::Backend::kAvx2Int8) {
+    // A context planned before calibration lacks the int8 slices; that
+    // means the owner skipped the pool rebuild — fail loudly rather
+    // than silently serving fp32 from an "int8" configuration.
+    DEEPCSI_CHECK_MSG(args.plan.scratch.size() == 4,
+                      "conv2d int8: context planned before calibration");
+    const std::size_t hw = hh * ww;
+    auto* xq = reinterpret_cast<std::uint8_t*>(args.plan.scratch[1]);
+    auto* panel = reinterpret_cast<std::uint8_t*>(args.plan.scratch[3]);
+    simd::ops().quantize_u8(args.x.data(), n * in_channels_ * hw,
+                            qw_.act_inv_scale, xq);
+    const RowEpilogue epi =
+        args.plan.fuse_selu ? simd::ops().selu : nullptr;
+    if (kh_ == 1 && hh == 1) {
+      // Width conv: skip the materialized u8 im2col entirely and pack
+      // the GEMM panel straight from the quantized planes — identical
+      // bytes, one full-size intermediate fewer.
+      conv_s8u8_batched_w(n, in_channels_, ww, kw_, pad_w_, qw_, xq, panel,
+                          bias_.value.data(), args.y.data(),
+                          out_channels_ * hw, epi);
+    } else {
+      auto* cols_u8 = reinterpret_cast<std::uint8_t*>(args.plan.scratch[2]);
+      im2col_u8_into(xq, n, hh, ww, cols_u8);
+      conv_s8u8_batched(n, hw, qw_, cols_u8, panel, bias_.value.data(),
+                        args.y.data(), out_channels_ * hw, epi);
+    }
+    return;
+  }
   float* cols = args.plan.scratch[0];
   im2col_into(args.x.data(), n, hh, ww, cols);
   compute_forward(cols, n, hh, ww, args.y.data(), args.plan.fuse_selu);

@@ -11,10 +11,12 @@
 // (kernels (1,7)/(1,5)/(1,3)); the kernels here stay general (kh, kw).
 #pragma once
 
+#include <cstdint>
 #include <random>
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/quantize.h"
 
 namespace deepcsi::nn {
 
@@ -36,6 +38,15 @@ class Conv2d final : public Layer {
   std::size_t in_channels() const { return in_channels_; }
   std::size_t out_channels() const { return out_channels_; }
 
+  // Attach calibrated int8 weights (nn/quantize.h). After this,
+  // contexts planned from the layer stage u8 scratch and forward_into
+  // runs the quantized kernels whenever the avx2_int8 backend is
+  // active; other backends keep the fp32 path. Existing
+  // InferenceContexts were planned without the int8 slices — rebuild
+  // them (Authenticator resets its pool after calibrating).
+  void prepare_int8(float input_absmax);
+  bool has_int8() const { return qw_.valid(); }
+
  private:
   std::size_t in_channels_, out_channels_, kh_, kw_;
   std::size_t pad_h_, pad_w_;
@@ -47,11 +58,18 @@ class Conv2d final : public Layer {
   // the same routines, so serve output is bitwise identical).
   void im2col_into(const float* x, std::size_t n_batch, std::size_t hh,
                    std::size_t ww, float* cols) const;
+  // u8 twin of im2col_into for the quantized path: same tap geometry,
+  // padding byte 128 (the u8 encoding of 0.0f — see nn/quantize.h).
+  void im2col_u8_into(const std::uint8_t* x, std::size_t n_batch,
+                      std::size_t hh, std::size_t ww,
+                      std::uint8_t* cols) const;
   // fuse_selu applies SELU as the GEMM's per-row epilogue (the fused
   // conv->bias->SELU serve path planned by InferenceContext).
   void compute_forward(const float* cols, std::size_t n_batch, std::size_t hh,
                        std::size_t ww, float* out,
                        bool fuse_selu = false) const;
+
+  QuantizedWeights qw_;  // empty until prepare_int8
 
   Tensor cached_x_;
   // im2col of cached_x_, shared by both modes: backward's weight-gradient

@@ -1,8 +1,11 @@
 #include "nn/dense.h"
 
+#include <cstdint>
+
 #include "common/parallel.h"
 #include "nn/gemm.h"
 #include "nn/init.h"
+#include "nn/simd.h"
 
 namespace deepcsi::nn {
 
@@ -42,13 +45,32 @@ Tensor Dense::forward(const Tensor& x, bool /*training*/) {
   return out;
 }
 
+void Dense::prepare_int8(float input_absmax) {
+  qw_ = quantize_weights(weight_.value.data(), out_features_, in_features_,
+                         input_absmax);
+}
+
 void Dense::plan_inference(InferencePlan& plan) const {
   DEEPCSI_CHECK(plan.in_shape.rank == 2 &&
                 plan.in_shape.dim(1) == in_features_);
   plan.out_shape = {plan.in_shape.dim(0), out_features_};
+  // Calibrated layer: one arena slice for the quantized input rows
+  // (bytes as floats, rounded up; rows zero-padded to 8 * ko).
+  if (qw_.valid())
+    plan.scratch_numel = {(plan.in_shape.dim(0) * 8 * qw_.ko + 3) / 4};
 }
 
 void Dense::forward_into(const InferArgs& args) const {
+  if (qw_.valid() && simd::active() == simd::Backend::kAvx2Int8) {
+    // Planned-before-calibration contexts lack the slice — fail loudly
+    // (see Conv2d::forward_into).
+    DEEPCSI_CHECK_MSG(args.plan.scratch.size() == 1,
+                      "dense int8: context planned before calibration");
+    auto* xq = reinterpret_cast<std::uint8_t*>(args.plan.scratch[0]);
+    dense_s8u8(args.x.dim(0), in_features_, qw_, args.x.data(), xq,
+               bias_.value.data(), args.y.data());
+    return;
+  }
   compute_forward(args.x.data(), args.x.dim(0), args.y.data());
 }
 

@@ -4,6 +4,7 @@
 #include <random>
 
 #include "nn/layer.h"
+#include "nn/quantize.h"
 
 namespace deepcsi::nn {
 
@@ -22,12 +23,18 @@ class Dense final : public Layer {
   }
   std::string name() const override { return "dense"; }
 
+  // Attach calibrated int8 weights; same contract as Conv2d::prepare_int8
+  // (rebuild any InferenceContexts planned before this).
+  void prepare_int8(float input_absmax);
+  bool has_int8() const { return qw_.valid(); }
+
  private:
   void compute_forward(const float* x, std::size_t n_batch, float* out) const;
 
   std::size_t in_features_, out_features_;
   Param weight_;  // [out, in]
   Param bias_;    // [out]
+  QuantizedWeights qw_;  // empty until prepare_int8
   Tensor cached_x_;
 };
 

@@ -23,6 +23,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "nn/quantize.h"
 
 namespace deepcsi::nn {
 
@@ -78,5 +81,56 @@ void gemm_nt_batch_reduce(std::size_t batch, std::size_t m, std::size_t n,
                           std::size_t k, const float* a, std::size_t a_stride,
                           const float* b, std::size_t b_stride, float* c,
                           bool accumulate);
+
+// ------------------------------------------------------ INT8 drivers
+//
+// Quantized counterparts of the conv/dense forward GEMMs
+// (nn/quantize.h documents the number format). All integer arithmetic
+// is exact and the dequantize is a fixed per-element fma, so these are
+// bit-identical across backends, thread counts, and batch chunkings —
+// a STRONGER contract than the fp32 kernels' per-backend determinism.
+
+// Quantized conv forward: C_s[rows, n] = dequant(qw.wq * panel_s) for s
+// in [0, batch). `cols` holds the batch's u8 im2col matrices ([k][n]
+// per sample, contiguous); `panel` is caller-provided scratch of
+// batch * 8 * qw.ko * ((n + 7) & ~7) bytes that this driver oct-packs
+// (eight consecutive k rows interleaved per column, zero beyond k and
+// in the pad columns) so one 64-bit panel unit feeds one broadcast
+// weight oct — the layout gemm_s8u8 documents in nn/simd.h. `epilogue`
+// fuses the activation into the producing chunk exactly like
+// gemm_nn_batched.
+void conv_s8u8_batched(std::size_t batch, std::size_t n,
+                       const QuantizedWeights& qw, const std::uint8_t* cols,
+                       std::uint8_t* panel, const float* bias, float* c,
+                       std::size_t c_stride, RowEpilogue epilogue);
+
+// Width-conv fast path of conv_s8u8_batched for the DeepCSI geometry
+// (input height 1, kernel height 1, 'same' padding, stride 1): the oct
+// panel is packed STRAIGHT from the quantized input planes `xq`
+// ([batch][in_channels][ww] bytes) instead of a materialized u8 im2col
+// buffer — k-row ci*kw + dj of output column j reads xq byte
+// (ci, j + dj - pad_w), 128 (the u8 zero) outside the image. Panel and
+// output are bit-identical to quantize -> im2col_u8 ->
+// conv_s8u8_batched (pinned by tests/quantize_test.cc); what it saves
+// is the full-size intermediate: one kw-times-the-input store pass plus
+// its re-read, the bulk of the quantized conv's non-GEMM time.
+void conv_s8u8_batched_w(std::size_t batch, std::size_t in_channels,
+                         std::size_t ww, std::size_t kw, std::size_t pad_w,
+                         const QuantizedWeights& qw, const std::uint8_t* xq,
+                         std::uint8_t* panel, const float* bias, float* c,
+                         std::size_t c_stride, RowEpilogue epilogue);
+
+// Quantized dense forward: out[s] = dequant(qw.wq * quantize(x[s])) for
+// s in [0, n_batch) rows of k features. `xq` is caller-provided scratch
+// of n_batch * 8 * qw.ko bytes for the quantized (and zero-padded)
+// input rows.
+void dense_s8u8(std::size_t n_batch, std::size_t k,
+                const QuantizedWeights& qw, const float* x, std::uint8_t* xq,
+                const float* bias, float* out);
+
+// Number of int8 driver dispatches since process start. Benches assert
+// this moves while measuring the avx2_int8 backend — an "int8" row that
+// silently ran the fp32 path would invalidate the comparison.
+std::uint64_t int8_kernel_dispatches();
 
 }  // namespace deepcsi::nn

@@ -1,0 +1,112 @@
+#include "nn/quantize.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+
+namespace deepcsi::nn {
+
+QuantizedWeights quantize_weights(const float* w, std::size_t rows,
+                                  std::size_t k, float input_absmax) {
+  QuantizedWeights q;
+  q.rows = rows;
+  q.k = k;
+  q.ko = (k + 7) / 8;
+  const std::size_t lda = 8 * q.ko;
+  q.wq.assign(rows * lda, 0);
+  q.dequant.assign(rows, 0.0f);
+  q.corr.assign(rows, 0);
+  const float act_scale = input_absmax > 0.0f ? input_absmax / 127.0f : 1.0f;
+  q.act_inv_scale = 1.0f / act_scale;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w + r * k;
+    float absmax = 0.0f;
+    for (std::size_t kk = 0; kk < k; ++kk)
+      absmax = std::max(absmax, std::fabs(row[kk]));
+    if (absmax <= 0.0f) continue;  // all-zero row: wq 0, dequant 0 -> bias
+    const float w_scale = absmax / 31.0f;
+    const float w_inv = 31.0f / absmax;
+    std::int8_t* qrow = q.wq.data() + r * lda;
+    std::int32_t row_sum = 0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      long v = std::lrintf(row[kk] * w_inv);
+      if (v < -31) v = -31;
+      if (v > 31) v = 31;
+      qrow[kk] = static_cast<std::int8_t>(v);
+      row_sum += static_cast<std::int32_t>(v);
+    }
+    q.dequant[r] = act_scale * w_scale;
+    q.corr[r] = 128 * row_sum;
+  }
+  return q;
+}
+
+namespace {
+
+bool is_quantizable(const Layer& layer) {
+  const std::string n = layer.name();
+  return n == "conv2d" || n == "dense";
+}
+
+// Strided subsample of up to max_samples rows, copied into a fresh
+// tensor so the calibration forward pass runs one bounded batch.
+tensor::Tensor subsample_rows(const tensor::Tensor& samples,
+                              std::size_t max_samples) {
+  const std::size_t n = samples.shape().empty() ? 0 : samples.shape()[0];
+  if (n == 0 || max_samples == 0 || n <= max_samples)
+    return tensor::slice_rows(samples, 0, n);
+  const std::size_t row = samples.numel() / n;
+  const std::size_t stride = (n + max_samples - 1) / max_samples;
+  std::vector<std::size_t> shape = samples.shape();
+  shape[0] = (n + stride - 1) / stride;
+  tensor::Tensor out(shape);
+  float* dst = out.data();
+  for (std::size_t s = 0; s < n; s += stride, dst += row)
+    std::memcpy(dst, samples.data() + s * row, row * sizeof(float));
+  return out;
+}
+
+}  // namespace
+
+std::vector<CalibrationEntry> calibrate_input_ranges(
+    Sequential& model, const tensor::Tensor& samples,
+    std::size_t max_samples) {
+  std::vector<CalibrationEntry> entries;
+  tensor::Tensor cur = subsample_rows(samples, max_samples);
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    Layer& layer = model.layer(i);
+    if (is_quantizable(layer))
+      entries.push_back({static_cast<std::uint32_t>(i), cur.max_abs()});
+    cur = layer.forward(cur, /*training=*/false);
+  }
+  return entries;
+}
+
+void apply_calibration(Sequential& model,
+                       const std::vector<CalibrationEntry>& entries) {
+  for (const CalibrationEntry& e : entries) {
+    if (e.layer_index >= model.num_layers())
+      throw std::runtime_error(
+          "int8 calibration: layer index " + std::to_string(e.layer_index) +
+          " out of range (model has " + std::to_string(model.num_layers()) +
+          " layers) — calibration sidecar does not match this model");
+    Layer& layer = model.layer(e.layer_index);
+    if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      conv->prepare_int8(e.input_absmax);
+    } else if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      dense->prepare_int8(e.input_absmax);
+    } else {
+      throw std::runtime_error(
+          "int8 calibration: layer " + std::to_string(e.layer_index) + " is " +
+          layer.name() +
+          ", expected conv2d/dense — calibration sidecar does not match this "
+          "model");
+    }
+  }
+}
+
+}  // namespace deepcsi::nn

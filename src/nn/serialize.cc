@@ -7,12 +7,20 @@
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/crc32.h"
 
 namespace deepcsi::nn {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'C', 'S', 'W'};
 constexpr std::uint32_t kVersion = 1;
+
+constexpr char kCalibMagic[4] = {'D', 'C', 'S', 'C'};
+constexpr std::uint32_t kCalibVersion = 1;
+
+std::string calibration_path(const std::string& weights_path) {
+  return weights_path + ".calib";
+}
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -85,6 +93,55 @@ void load_weights(Sequential& model, const std::string& path) {
     }
     read_bytes(f.get(), p->value.data(), p->value.numel() * sizeof(float));
   }
+}
+
+void save_calibration(const std::string& weights_path,
+                      const std::vector<CalibrationEntry>& entries) {
+  std::vector<std::uint8_t> buf;
+  append_bytes(buf, kCalibMagic, 4);
+  append_bytes(buf, &kCalibVersion, 4);
+  const std::uint32_t count = static_cast<std::uint32_t>(entries.size());
+  append_bytes(buf, &count, 4);
+  for (const CalibrationEntry& e : entries) {
+    append_bytes(buf, &e.layer_index, 4);
+    append_bytes(buf, &e.input_absmax, 4);
+  }
+  const std::uint32_t crc = common::crc32(buf.data(), buf.size());
+  append_bytes(buf, &crc, 4);
+  common::write_file_atomic(calibration_path(weights_path), buf);
+}
+
+std::optional<std::vector<CalibrationEntry>> load_calibration(
+    const std::string& weights_path) {
+  const std::string path = calibration_path(weights_path);
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return std::nullopt;  // no sidecar: fp32-only model, fine
+  // Slurp the whole file so the CRC check covers exactly what we parse.
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0)
+    buf.insert(buf.end(), chunk, chunk + got);
+  if (buf.size() < 16)  // magic + version + count + crc
+    throw std::runtime_error("calibration file: truncated: " + path);
+  if (std::memcmp(buf.data(), kCalibMagic, 4) != 0)
+    throw std::runtime_error("not a DeepCSI calibration file: " + path);
+  std::uint32_t version = 0, count = 0, stored_crc = 0;
+  std::memcpy(&version, buf.data() + 4, 4);
+  if (version != kCalibVersion)
+    throw std::runtime_error("unsupported calibration file version: " + path);
+  std::memcpy(&count, buf.data() + 8, 4);
+  if (buf.size() != 16 + std::size_t{count} * 8)
+    throw std::runtime_error("calibration file: truncated: " + path);
+  std::memcpy(&stored_crc, buf.data() + buf.size() - 4, 4);
+  if (common::crc32(buf.data(), buf.size() - 4) != stored_crc)
+    throw std::runtime_error("calibration file: CRC mismatch: " + path);
+  std::vector<CalibrationEntry> entries(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::memcpy(&entries[i].layer_index, buf.data() + 12 + i * 8, 4);
+    std::memcpy(&entries[i].input_absmax, buf.data() + 16 + i * 8, 4);
+  }
+  return entries;
 }
 
 }  // namespace deepcsi::nn

@@ -2,11 +2,22 @@
 // low-cost observer device (the paper runs inference on a laptop).
 // Format: "DCSW" magic, u32 version, u32 param count, then per parameter
 // u32 rank + u64 dims + raw float32 data. Little-endian host assumed.
+//
+// The INT8 calibration sidecar rides next to the weights at
+// `<weights>.calib` (the same sidecar pattern as the `.meta` label map):
+// "DCSC" magic, u32 version, u32 entry count, per entry u32 layer index
+// + f32 input absmax, then a trailing u32 CRC-32 over everything before
+// it. The CRC matters more here than for the weights — a silently
+// corrupt absmax would not crash, it would quietly mis-scale every
+// quantized activation.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "nn/model.h"
+#include "nn/quantize.h"
 
 namespace deepcsi::nn {
 
@@ -15,5 +26,18 @@ void save_weights(const Sequential& model, const std::string& path);
 // The model must already have the exact architecture the weights came
 // from; shape mismatches throw std::runtime_error.
 void load_weights(Sequential& model, const std::string& path);
+
+// Write the calibration sidecar for the weights at `weights_path`
+// (atomic tmp + rename, like the weights themselves).
+void save_calibration(const std::string& weights_path,
+                      const std::vector<CalibrationEntry>& entries);
+
+// Load the sidecar next to `weights_path`. A MISSING sidecar is normal
+// (model trained before int8 existed, or calibration skipped) and
+// returns nullopt — callers fall back to fp32. A PRESENT but unreadable
+// sidecar (bad magic/version, truncation, CRC mismatch) throws
+// std::runtime_error: refusing beats serving garbage scales.
+std::optional<std::vector<CalibrationEntry>> load_calibration(
+    const std::string& weights_path);
 
 }  // namespace deepcsi::nn

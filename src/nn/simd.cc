@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "nn/activations.h"
 
@@ -158,6 +159,61 @@ void scale_col_polar_scalar(double* data, std::size_t rows, std::size_t cols,
   }
 }
 
+}  // namespace
+
+// ------------------------------------------- int8 reference kernels
+//
+// Plain integer loops defining the exact bits every int8 implementation
+// must produce. Integer accumulation is order-independent (exact), and
+// the two float steps are pinned: quantize rounds to nearest-even (lrintf
+// under the default rounding mode — the same rule as
+// _mm256_cvtps_epi32), dequantize is one fmaf per element (the same
+// contraction as _mm256_fmadd_ps). tests/quantize_test.cc asserts the
+// avx2_int8 kernels match these bit-for-bit.
+
+void int8ref::quantize_u8(const float* x, std::size_t n, float inv_scale,
+                          std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    long q = std::lrintf(x[i] * inv_scale);
+    if (q < -127) q = -127;
+    if (q > 127) q = 127;
+    out[i] = static_cast<std::uint8_t>(q + 128);
+  }
+}
+
+std::int32_t int8ref::dot_s8u8(const std::int8_t* w, const std::uint8_t* x,
+                               std::size_t k) {
+  std::int32_t acc = 0;
+  for (std::size_t kk = 0; kk < k; ++kk)
+    acc += static_cast<std::int32_t>(w[kk]) * static_cast<std::int32_t>(x[kk]);
+  return acc;
+}
+
+void int8ref::gemm_s8u8(std::size_t nrows, std::size_t n, std::size_t ko,
+                        const std::int8_t* a, std::size_t lda,
+                        const std::uint8_t* bq, const std::int32_t* corr,
+                        const float* dequant, const float* bias, float* c,
+                        std::size_t ldc) {
+  const std::size_t np = (n + 7) & ~std::size_t{7};
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const std::int8_t* __restrict a_row = a + r * lda;
+    float* __restrict c_row = c + r * ldc;
+    const float b0 = bias != nullptr ? bias[r] : 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t o = 0; o < ko; ++o) {
+        const std::uint8_t* __restrict bp = bq + (o * np + j) * 8;
+        const std::int8_t* __restrict ap = a_row + o * 8;
+        for (std::size_t t = 0; t < 8; ++t)
+          acc += static_cast<std::int32_t>(ap[t]) * bp[t];
+      }
+      c_row[j] = std::fmaf(static_cast<float>(acc - corr[r]), dequant[r], b0);
+    }
+  }
+}
+
+namespace {
+
 constexpr SimdOps kScalarOps = {
     Backend::kScalar,
     gemm_tile_scalar,
@@ -168,6 +224,9 @@ constexpr SimdOps kScalarOps = {
     givens_right_scalar,
     scale_row_polar_scalar,
     scale_col_polar_scalar,
+    int8ref::quantize_u8,
+    int8ref::dot_s8u8,
+    int8ref::gemm_s8u8,
 };
 
 // ------------------------------------------------------------- dispatch
@@ -176,11 +235,36 @@ const SimdOps* table_for(Backend b);
 
 std::atomic<const SimdOps*> g_active{nullptr};
 
+// THE backend-name table: drives name(), backend_names(),
+// available_backends(), resolve_backend() and the usage-error text below.
+// Add new backends here and nowhere else — a hand-maintained copy of this
+// list in an error string or usage() is exactly the desync this table
+// exists to prevent. Scalar stays first: bench sweeps report speedups
+// relative to the first available backend.
+struct BackendName {
+  Backend id;
+  const char* name;
+};
+constexpr BackendName kBackendTable[] = {
+    {Backend::kScalar, "scalar"},
+    {Backend::kAvx2, "avx2"},
+    {Backend::kAvx2Int8, "avx2_int8"},
+};
+
+// Both avx2 variants ride the same TU gating and ISA bits (the int8
+// kernels are AVX2 integer instructions).
+bool needs_avx2(Backend b) { return b != Backend::kScalar; }
+
 [[noreturn]] void usage_error(const char* value, const char* why) {
-  std::fprintf(stderr,
-               "deepcsi: DEEPCSI_SIMD=%s: %s (valid values: "
-               "\"avx2\", \"scalar\")\n",
-               value, why);
+  std::string valid;
+  for (const BackendName& entry : kBackendTable) {
+    if (!valid.empty()) valid += ", ";
+    valid += '"';
+    valid += entry.name;
+    valid += '"';
+  }
+  std::fprintf(stderr, "deepcsi: DEEPCSI_SIMD=%s: %s (valid values: %s)\n",
+               value, why, valid.c_str());
   std::exit(2);
 }
 
@@ -201,14 +285,17 @@ const SimdOps* active_table() {
 }  // namespace
 
 #if DEEPCSI_HAVE_AVX2
-// Defined in nn/simd_avx2.cc (the only TU compiled with -mavx2 -mfma).
+// Defined in nn/simd_avx2.cc / nn/simd_avx2_int8.cc (the only TUs
+// compiled with -mavx2 -mfma).
 const SimdOps* avx2_ops();
+const SimdOps* avx2_int8_ops();
 #endif
 
 namespace {
 const SimdOps* table_for(Backend b) {
 #if DEEPCSI_HAVE_AVX2
   if (b == Backend::kAvx2) return avx2_ops();
+  if (b == Backend::kAvx2Int8) return avx2_int8_ops();
 #endif
   (void)b;
   return &kScalarOps;
@@ -235,15 +322,17 @@ Backend resolve_backend(const char* env_value) {
   if (env_value == nullptr || env_value[0] == '\0')
     return compiled_with_avx2() && cpu_supports_avx2() ? Backend::kAvx2
                                                        : Backend::kScalar;
-  if (std::strcmp(env_value, "scalar") == 0) return Backend::kScalar;
-  if (std::strcmp(env_value, "avx2") == 0) {
-    if (!compiled_with_avx2())
-      usage_error(env_value,
-                  "the avx2 backend was compiled out (DEEPCSI_ENABLE_AVX2=OFF "
-                  "or non-x86 target)");
-    if (!cpu_supports_avx2())
-      usage_error(env_value, "this CPU does not support AVX2+FMA");
-    return Backend::kAvx2;
+  for (const BackendName& entry : kBackendTable) {
+    if (std::strcmp(env_value, entry.name) != 0) continue;
+    if (needs_avx2(entry.id)) {
+      if (!compiled_with_avx2())
+        usage_error(env_value,
+                    "the avx2 backend was compiled out (DEEPCSI_ENABLE_AVX2="
+                    "OFF or non-x86 target)");
+      if (!cpu_supports_avx2())
+        usage_error(env_value, "this CPU does not support AVX2+FMA");
+    }
+    return entry.id;
   }
   usage_error(env_value, "unknown backend");
 }
@@ -251,20 +340,30 @@ Backend resolve_backend(const char* env_value) {
 Backend active() { return active_table()->id; }
 
 bool set_active(Backend b) {
-  if (b == Backend::kAvx2 && !(compiled_with_avx2() && cpu_supports_avx2()))
+  if (needs_avx2(b) && !(compiled_with_avx2() && cpu_supports_avx2()))
     return false;
   g_active.store(table_for(b), std::memory_order_release);
   return true;
 }
 
 const char* name(Backend b) {
-  return b == Backend::kAvx2 ? "avx2" : "scalar";
+  for (const BackendName& entry : kBackendTable)
+    if (entry.id == b) return entry.name;
+  return "scalar";
+}
+
+std::vector<const char*> backend_names() {
+  std::vector<const char*> out;
+  for (const BackendName& entry : kBackendTable) out.push_back(entry.name);
+  return out;
 }
 
 std::vector<Backend> available_backends() {
-  std::vector<Backend> out{Backend::kScalar};
-  if (compiled_with_avx2() && cpu_supports_avx2())
-    out.push_back(Backend::kAvx2);
+  std::vector<Backend> out;
+  for (const BackendName& entry : kBackendTable)
+    if (!needs_avx2(entry.id) ||
+        (compiled_with_avx2() && cpu_supports_avx2()))
+      out.push_back(entry.id);
   return out;
 }
 

@@ -3,24 +3,33 @@
 // (nn/activations.cc), and the complex-double rotation kernels behind the
 // feedback codec (linalg/cmat.cc).
 //
-// Two backends exist:
+// Three backends exist:
 //
-//   * kScalar — the pre-SIMD C++ loops, bit-for-bit identical to the code
-//     they were lifted from. Always available.
-//   * kAvx2   — 8-wide FMA register tiles (float) and 2-complex-wide
+//   * kScalar   — the pre-SIMD C++ loops, bit-for-bit identical to the
+//     code they were lifted from. Always available.
+//   * kAvx2     — 8-wide FMA register tiles (float) and 2-complex-wide
 //     __m256d kernels (double), compiled into ONE translation unit
 //     (nn/simd_avx2.cc) with -mavx2 -mfma so the rest of the binary keeps
 //     the baseline ISA and still runs on non-AVX2 hosts. Present only
 //     when CMake's DEEPCSI_ENABLE_AVX2 is ON and the target is x86.
+//   * kAvx2Int8 — the avx2 table plus active INT8 inference kernels
+//     (nn/simd_avx2_int8.cc, same -mavx2 -mfma single-TU rule):
+//     per-output-row symmetric int8 weights x per-tensor u8 activations
+//     via _mm256_maddubs_epi16/_mm256_madd_epi16 dot products accumulated
+//     in int32. Conv2d/Dense run quantized ONLY when this backend is
+//     active AND the layer holds calibrated int8 weights (see
+//     nn/quantize.h); uncalibrated models degrade gracefully to the fp32
+//     avx2 kernels. Same availability condition as kAvx2.
 //
 // Selection happens once, at first use: the DEEPCSI_SIMD environment
-// variable ("avx2" or "scalar") overrides; otherwise CPUID picks avx2
-// when the host supports AVX2+FMA and the backend was compiled in. An
-// unknown DEEPCSI_SIMD value, or an explicit avx2 request the host cannot
-// honor, is a usage error: the process exits with code 2 instead of
-// silently falling back (a silently-wrong backend would invalidate every
-// benchmark row that claims to measure it). Tests and benches switch
-// backends at runtime with set_active().
+// variable ("avx2", "avx2_int8" or "scalar") overrides; otherwise CPUID
+// picks avx2 when the host supports AVX2+FMA and the backend was compiled
+// in (int8 stays opt-in). An unknown DEEPCSI_SIMD value, or an explicit
+// avx2/avx2_int8 request the host cannot honor, is a usage error: the
+// process exits with code 2 instead of silently falling back (a
+// silently-wrong backend would invalidate every benchmark row that claims
+// to measure it). Tests and benches switch backends at runtime with
+// set_active().
 //
 // Determinism contract (mirrors the parallel_for contract in
 // common/parallel.h): WITHIN a backend every kernel accumulates each
@@ -34,11 +43,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace deepcsi::simd {
 
-enum class Backend { kScalar = 0, kAvx2 = 1 };
+enum class Backend { kScalar = 0, kAvx2 = 1, kAvx2Int8 = 2 };
 
 // The kernel table one backend exports. All pointers are non-null.
 struct SimdOps {
@@ -99,7 +109,65 @@ struct SimdOps {
   // data(r, col) *= (fre + i*fim) for r in [0, rows).
   void (*scale_col_polar)(double* data, std::size_t rows, std::size_t cols,
                           std::size_t col, double fre, double fim);
+
+  // ------------------------------------------------ INT8 inference kernels
+  //
+  // Active implementations live on the kAvx2Int8 table; the scalar and
+  // avx2 tables carry the int8ref reference loops below so every pointer
+  // stays non-null and tests can pin the SIMD kernels against them. All
+  // integer arithmetic is exact, and the dequantize step is one fixed
+  // fma(float(acc - corr), dequant, bias) per element, so — unlike the
+  // fp32 kernels — int8 results are required to be BIT-IDENTICAL across
+  // every implementation, not merely within one backend.
+
+  // out[i] = clamp(round_to_nearest_even(x[i] * inv_scale), -127, 127)
+  //          + 128, i.e. u8 with zero point 128 (0.0f always maps to 128,
+  //          which is also the conv zero-padding byte).
+  void (*quantize_u8)(const float* x, std::size_t n, float inv_scale,
+                      std::uint8_t* out);
+
+  // i32 dot of an s8 weight row and a u8 activation row over k (k % 4 ==
+  // 0; callers pad). Weights must satisfy |w| <= 31 (nn/quantize.h) so
+  // the avx2 kernel can fold TWO _mm256_maddubs_epi16 results (each i16
+  // lane <= 2 * 255 * 31 = 15810) into a plain i16 add without
+  // saturating — every integer op stays exact and the result identical
+  // to the plain integer loop.
+  std::int32_t (*dot_s8u8)(const std::int8_t* w, const std::uint8_t* x,
+                           std::size_t k);
+
+  // `nrows` C rows of the quantized conv GEMM over an OCT-packed u8
+  // panel. With np = (n + 7) & ~7 (panel columns padded to a multiple of
+  // 8; pad columns hold zero bytes and are never stored) and ko octs of
+  // 8 k-values (zero byte beyond k), for r in [0, nrows), j in [0, n):
+  //   acc = sum_{o < ko} sum_{t < 8} a[r*lda + 8o+t] * bq[(o*np + j)*8 + t]
+  //   c[r*ldc + j] = fma(float(acc - corr[r]), dequant[r],
+  //                      bias ? bias[r] : 0.0f)
+  // The panel interleaves eight consecutive k rows per column so one
+  // 64-bit unit feeds the kernel's two-maddubs i16 accumulation; weight
+  // rows are plain row-major s8, zero-padded to lda = 8 * ko. Same
+  // |w| <= 31 no-saturation contract as dot_s8u8 — that is what makes
+  // the i16 folding exact and the output bit-identical to int8ref.
+  void (*gemm_s8u8)(std::size_t nrows, std::size_t n, std::size_t ko,
+                    const std::int8_t* a, std::size_t lda,
+                    const std::uint8_t* bq, const std::int32_t* corr,
+                    const float* dequant, const float* bias, float* c,
+                    std::size_t ldc);
 };
+
+// Scalar reference implementations of the int8 kernels (plain integer
+// loops at the baseline ISA). They define the required bit pattern: the
+// avx2_int8 kernels must agree exactly, and tests/quantize_test.cc pins
+// that. These back the int8 entries of the scalar and avx2 tables.
+namespace int8ref {
+void quantize_u8(const float* x, std::size_t n, float inv_scale,
+                 std::uint8_t* out);
+std::int32_t dot_s8u8(const std::int8_t* w, const std::uint8_t* x,
+                      std::size_t k);
+void gemm_s8u8(std::size_t nrows, std::size_t n, std::size_t ko,
+               const std::int8_t* a, std::size_t lda, const std::uint8_t* bq,
+               const std::int32_t* corr, const float* dequant,
+               const float* bias, float* c, std::size_t ldc);
+}  // namespace int8ref
 
 // True when the running CPU reports AVX2 and FMA.
 bool cpu_supports_avx2();
@@ -109,11 +177,11 @@ bool cpu_supports_avx2();
 bool compiled_with_avx2();
 
 // Parses a DEEPCSI_SIMD override. nullptr or "" selects the default
-// (avx2 when compiled in and the CPU supports it, else scalar). "scalar"
-// and "avx2" select explicitly. Anything else — including "avx2" when
-// the backend is compiled out or the CPU lacks the ISA — prints a usage
-// message and exits with code 2. Exposed so the death tests can exercise
-// the error paths directly.
+// (avx2 when compiled in and the CPU supports it, else scalar). Any name
+// from backend_names() selects explicitly. Anything else — including
+// "avx2"/"avx2_int8" when the backend is compiled out or the CPU lacks
+// the ISA — prints a usage message and exits with code 2. Exposed so the
+// death tests can exercise the error paths directly.
 Backend resolve_backend(const char* env_value);
 
 // The active backend. First call resolves DEEPCSI_SIMD (see above).
@@ -126,12 +194,20 @@ Backend active();
 // common::set_num_threads.
 bool set_active(Backend b);
 
-// Human-readable backend name ("scalar" / "avx2").
+// Human-readable backend name ("scalar" / "avx2" / "avx2_int8").
 const char* name(Backend b);
 
-// Every backend this host can actually run: scalar always, avx2 when it
-// was compiled in and the CPU reports the ISA. Benches and tests loop
-// over this so their coverage tracks the build/host automatically.
+// Every backend name this build knows — available on this host or not —
+// in canonical order. One table in nn/simd.cc drives this list, name(),
+// resolve_backend()'s matching AND its error text, so adding a backend
+// cannot desync the usage message from the parser.
+std::vector<const char*> backend_names();
+
+// Every backend this host can actually run: scalar always, the avx2
+// variants when the backend was compiled in and the CPU reports the ISA.
+// Benches and tests loop over this so their coverage tracks the
+// build/host automatically. Scalar is always first (bench sweeps print
+// speedups relative to it).
 std::vector<Backend> available_backends();
 
 // The active backend's kernel table. Callers that dispatch many times in

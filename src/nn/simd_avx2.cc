@@ -436,6 +436,13 @@ constexpr SimdOps kAvx2Ops = {
     givens_right_avx2,
     scale_row_polar_avx2,
     scale_col_polar_avx2,
+    // The fp32 backend never runs quantized layers; its int8 slots carry
+    // the scalar reference kernels so every pointer stays valid. The
+    // live AVX2 int8 kernels sit on the kAvx2Int8 table
+    // (nn/simd_avx2_int8.cc).
+    int8ref::quantize_u8,
+    int8ref::dot_s8u8,
+    int8ref::gemm_s8u8,
 };
 
 }  // namespace

@@ -7,6 +7,7 @@
 // backend.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstring>
@@ -65,27 +66,58 @@ TEST(SimdDispatchTest, ResolveAcceptsTheDocumentedValues) {
   EXPECT_EQ(simd::resolve_backend(""), auto_backend);
   if (avx2_available()) {
     EXPECT_EQ(simd::resolve_backend("avx2"), Backend::kAvx2);
+    // int8 is opt-in only: never the default, but resolvable by name.
+    EXPECT_EQ(simd::resolve_backend("avx2_int8"), Backend::kAvx2Int8);
   }
 }
 
 TEST(SimdDispatchDeathTest, UnknownValueExitsWithUsageError) {
   // An unknown DEEPCSI_SIMD must be a hard usage error (exit 2), never a
-  // silent fallback that would mislabel every benchmark row.
+  // silent fallback that would mislabel every benchmark row. The message
+  // must list every valid name (driven by the one backend table).
   EXPECT_EXIT(simd::resolve_backend("neon"), ::testing::ExitedWithCode(2),
               "DEEPCSI_SIMD=neon");
   EXPECT_EXIT(simd::resolve_backend("AVX2"), ::testing::ExitedWithCode(2),
               "unknown backend");
+  EXPECT_EXIT(simd::resolve_backend("neon"), ::testing::ExitedWithCode(2),
+              "\"scalar\".*\"avx2\".*\"avx2_int8\"");
 }
 
 TEST(SimdDispatchDeathTest, ExplicitAvx2OnUnsupportedHostExits) {
   if (avx2_available()) GTEST_SKIP() << "host can honor DEEPCSI_SIMD=avx2";
   EXPECT_EXIT(simd::resolve_backend("avx2"), ::testing::ExitedWithCode(2),
               "DEEPCSI_SIMD=avx2");
+  // Same hard-error contract for the int8 backend: it needs the same
+  // ISA, so an unhonorable explicit request must never degrade silently.
+  EXPECT_EXIT(simd::resolve_backend("avx2_int8"), ::testing::ExitedWithCode(2),
+              "DEEPCSI_SIMD=avx2_int8");
 }
 
 TEST(SimdDispatchTest, BackendNames) {
   EXPECT_STREQ(simd::name(Backend::kScalar), "scalar");
   EXPECT_STREQ(simd::name(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(simd::name(Backend::kAvx2Int8), "avx2_int8");
+  // The canonical name list covers every backend this build knows, in
+  // enum order, whether or not this host can run them.
+  const std::vector<const char*> names = simd::backend_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_STREQ(names[0], "scalar");
+  EXPECT_STREQ(names[1], "avx2");
+  EXPECT_STREQ(names[2], "avx2_int8");
+}
+
+TEST(SimdDispatchTest, AvailableBackendsIncludesInt8WithAvx2) {
+  // avx2 and avx2_int8 have the same availability condition: both or
+  // neither, with scalar always first.
+  const std::vector<Backend> avail = simd::available_backends();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), Backend::kScalar);
+  const bool has_avx2 =
+      std::find(avail.begin(), avail.end(), Backend::kAvx2) != avail.end();
+  const bool has_int8 =
+      std::find(avail.begin(), avail.end(), Backend::kAvx2Int8) != avail.end();
+  EXPECT_EQ(has_avx2, avx2_available());
+  EXPECT_EQ(has_int8, avx2_available());
 }
 
 // ------------------------------------------------------- GEMM tolerance

@@ -65,6 +65,7 @@
 #include "net/ingest_server.h"
 #include "net/publisher.h"
 #include "nn/serialize.h"
+#include "nn/simd.h"
 #include "serving/fleet.h"
 #include "serving/options.h"
 #include "serving/replay.h"
@@ -168,6 +169,15 @@ int usage() {
                "           [--model MODEL.bin] [--window W=31]   "
                "(--model enables offline-parity verification)\n"
                "  inspect  --pcap FILE.pcap [--max N=5]\n");
+  // Built from the one backend table in nn/simd.cc so this line cannot
+  // drift from what resolve_backend actually accepts.
+  std::string backends;
+  for (const char* n : simd::backend_names()) {
+    if (!backends.empty()) backends += '|';
+    backends += n;
+  }
+  std::fprintf(stderr, "  env: DEEPCSI_SIMD=%s  DEEPCSI_THREADS=N\n",
+               backends.c_str());
   return 2;
 }
 
@@ -212,6 +222,19 @@ core::Authenticator load_authenticator(const Args& args) {
       cfg.model);
   core::Authenticator auth(std::move(model), spec);
   auth.load(args.get("model"));
+  // The int8 calibration sidecar rides next to the weights like .meta.
+  // Missing is fine (pre-int8 model) — but if the user explicitly asked
+  // for the int8 backend, say out loud that the layers will run fp32.
+  // A present-but-corrupt sidecar throws and the command exits nonzero.
+  if (const auto calib = nn::load_calibration(args.get("model"))) {
+    auth.apply_int8_calibration(*calib);
+  } else if (simd::active() == simd::Backend::kAvx2Int8) {
+    std::fprintf(stderr,
+                 "deepcsi: DEEPCSI_SIMD=avx2_int8 but %s has no .calib "
+                 "sidecar (model trained before int8 support?); "
+                 "conv/dense layers will run the fp32 avx2 kernels\n",
+                 args.get("model").c_str());
+  }
   return auth;
 }
 
@@ -298,8 +321,15 @@ int cmd_train(const Args& args) {
   // architecture without the user re-passing flags.
   core::save_model_meta(args.get("out"), {{"filters", cfg.model.filters},
                                           {"stride", spec.subcarrier_stride}});
-  std::printf("train: weights written to %s (+ .meta)\n",
-              args.get("out").c_str());
+  // Calibrate int8 activation ranges on the training set and persist
+  // them next to the weights, so any later `classify`/`serve`/`fleet`
+  // can run DEEPCSI_SIMD=avx2_int8 without retraining.
+  const std::vector<nn::CalibrationEntry> calib = auth.calibrate_int8(train.x);
+  nn::save_calibration(args.get("out"), calib);
+  std::printf(
+      "train: weights written to %s (+ .meta, + .calib: %zu int8-calibrated "
+      "layers)\n",
+      args.get("out").c_str(), calib.size());
   return 0;
 }
 
