@@ -7,12 +7,44 @@
 #include <stdexcept>
 #include <unistd.h>
 
+#include "common/failpoint.h"
+
 namespace deepcsi::common {
 
 namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Synthesized fsync failure (site "file.fsync"), shared by the data-file
+// and directory fsync steps so chaos tests can hit either.
+bool fsync_failpoint_fired() {
+  static Failpoint fp("file.fsync");
+  if (const auto fire = fp.evaluate()) {
+    errno = fire->err == 0 ? EIO : fire->err;
+    return true;
+  }
+  return false;
+}
+
+// Durability of the rename itself: fsync the parent directory so a crash
+// right after write_file_atomic returns cannot lose the directory entry
+// (POSIX only promises the data made it once the DIRECTORY is synced).
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) fail("open dir", dir);
+  if (fsync_failpoint_fired() || ::fsync(dfd) < 0) {
+    const int saved = errno;
+    ::close(dfd);
+    errno = saved;
+    fail("fsync dir", dir);
+  }
+  ::close(dfd);
 }
 
 }  // namespace
@@ -39,7 +71,7 @@ void write_file_atomic(const std::string& path, const void* data,
   }
   // fsync before rename: otherwise the rename can hit the disk before
   // the data does, and a crash leaves a complete-looking empty file.
-  if (::fsync(fd) < 0 || ::close(fd) < 0) {
+  if (fsync_failpoint_fired() || ::fsync(fd) < 0 || ::close(fd) < 0) {
     const int saved = errno;
     ::close(fd);
     ::unlink(tmp.c_str());
@@ -52,6 +84,10 @@ void write_file_atomic(const std::string& path, const void* data,
     errno = saved;
     fail("rename", path);
   }
+  // The file is in place but the rename may still live only in the page
+  // cache; a dir-fsync failure here throws even though `path` already
+  // names the new contents — callers treat any throw as "not durable".
+  fsync_parent_dir(path);
 }
 
 }  // namespace deepcsi::common

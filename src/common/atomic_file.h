@@ -1,8 +1,13 @@
-// Crash-safe file replacement: write to <path>.tmp.<pid>, fsync, then
-// rename(2) over the destination. A reader (or a restarting server)
-// either sees the complete old file or the complete new file — never a
-// torn half-write. Used for the session snapshot, saved model weights,
-// the .meta sidecar, and --port-file.
+// Crash-safe file replacement: write to <path>.tmp.<pid>, fsync, rename
+// over the destination, then fsync the PARENT DIRECTORY so the rename
+// itself is durable — without that last step a crash right after return
+// can roll the directory entry back to the old file. A reader (or a
+// restarting server) either sees the complete old file or the complete
+// new file — never a torn half-write. Used for the session snapshot,
+// saved model weights, the .meta/.calib sidecars, and --port-file.
+//
+// Failpoint site "file.fsync" (common/failpoint.h) synthesizes a failure
+// at either fsync step for chaos coverage.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +19,9 @@ namespace deepcsi::common {
 // Atomically replaces `path` with `data`. Throws std::runtime_error
 // (with the errno text) if the temp file cannot be written, synced, or
 // renamed; the destination is untouched on failure and the temp file is
-// cleaned up.
+// cleaned up. A directory-fsync failure AFTER the rename also throws —
+// the new contents are visible but not yet durable, and callers must
+// treat any throw as "the write did not happen".
 void write_file_atomic(const std::string& path, const void* data,
                        std::size_t size);
 

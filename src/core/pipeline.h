@@ -3,8 +3,11 @@
 // feedback reports (the full workflow of Fig. 1 / Fig. 3).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -41,6 +44,43 @@ struct ExperimentResult {
 ExperimentResult run_classification(const dataset::SplitSets& split,
                                     const ExperimentConfig& cfg);
 
+// ------------------------------------------------- deployable artifacts
+//
+// A trained model on disk is a trio: the weights file, the ".meta"
+// key=value sidecar recording the architecture knobs, and the optional
+// ".calib" int8 sidecar. load_model_artifact rebuilds the trio as one
+// validated unit — the single load path shared by CLI startup and the
+// hot-swap machinery, so "can this file serve?" has exactly one answer.
+
+enum class ModelLoadStatus {
+  kOk,
+  kIoError,       // missing/torn/truncated weights, corrupt .calib (CRC),
+                  // shape mismatch between weights and the .meta arch,
+                  // or an injected "model.load" failpoint failure
+  kSpecMismatch,  // the trio's input spec disagrees with serving_spec
+};
+
+struct LoadedModel {
+  std::optional<nn::Sequential> model;  // weights loaded, calib NOT applied
+  dataset::InputSpec spec;              // the spec the model was built for
+  ModelConfig config;                   // arch (meta keys over fallback)
+  int num_classes = 0;
+  std::optional<std::vector<nn::CalibrationEntry>> calibration;
+};
+
+// Loads weights + .meta + .calib from `path`. Architecture keys in .meta
+// (filters, stride, classes) are authoritative for the artifact;
+// `fallback` supplies any the sidecar lacks (legacy models without a
+// .meta). When `serving_spec` is given, a trio whose input geometry
+// disagrees with it returns kSpecMismatch with a diagnostic naming BOTH
+// specs — the caller must refuse, never serve garbage features. Never
+// throws; never returns a half-loaded model. Failpoint site "model.load"
+// synthesizes a kIoError before the file is touched.
+ModelLoadStatus load_model_artifact(
+    const std::string& path,
+    const std::optional<dataset::InputSpec>& serving_spec,
+    const ModelConfig& fallback, LoadedModel* out, std::string* error);
+
 // A trained classifier bound to its input spec: the deployable artifact.
 //
 // The network lives in an immutable SharedModel; every classify call
@@ -48,9 +88,18 @@ ExperimentResult run_classification(const dataset::SplitSets& split,
 // from an internal pool, so ANY number of threads may call classify /
 // classify_batch / authenticate concurrently on one shared Authenticator.
 // Predictions are bitwise identical whatever the caller count, batch
-// composition or DEEPCSI_THREADS. The only non-const entry points are
-// model() and load(), which mutate weights for the train/eval path and
-// must not race a concurrent classify.
+// composition or DEEPCSI_THREADS.
+//
+// Model lifecycle (RCU hot swap): the SharedModel + ContextPool pair
+// lives in an *epoch* behind a shared_ptr. classify pins the current
+// epoch with one pointer copy; swap_model() stages a fully validated
+// replacement off to the side and publishes it with a single pointer
+// exchange. In-flight classify calls finish on the epoch they pinned,
+// which retires when its last lease drops — a swap never blocks serving
+// and serving never blocks a swap. The only non-const entry points are
+// model(), load() and the int8 calibration hooks, which mutate the
+// CURRENT epoch's weights for the train/eval path and must not race a
+// concurrent classify (swap_model, by contrast, is safe to race).
 class Authenticator {
  public:
   // Contexts are planned for batches up to this size; larger classify
@@ -87,15 +136,48 @@ class Authenticator {
                     int claimed_module, double min_confidence = 0.5) const;
 
   const dataset::InputSpec& input_spec() const { return spec_; }
-  const nn::SharedModel& shared_model() const { return model_; }
+  // Current epoch's model. The reference is only stable while no swap
+  // runs — tests and benches use it, the serving path never does.
+  const nn::SharedModel& shared_model() const;
   // Stateful train/eval escape hatch (nn::evaluate, weight mutation).
   // NOT thread-safe, and must not race concurrent classify calls.
-  nn::Sequential& model() { return model_.mutable_graph(); }
+  nn::Sequential& model();
 
   void save(const std::string& path) const;
   // The caller must construct the Authenticator with the same architecture
   // before loading (shape mismatches throw).
   void load(const std::string& path);
+
+  // ------------------------------------------------- RCU hot swap
+  //
+  // Atomically replaces the serving model with the weights/.meta/.calib
+  // trio at `path`, WITHOUT interrupting concurrent classify calls. The
+  // candidate is loaded, validated against this Authenticator's input
+  // spec, calibrated and pool-planned entirely off to the side; only a
+  // fully staged epoch is published. Any failure — torn file, CRC
+  // refusal, spec mismatch, injected "model.load"/"model.swap" failpoint
+  // — leaves the incumbent epoch serving untouched ("rolled back") and
+  // is counted in swaps_rolled_back(). Thread-safe, including against
+  // itself and against classify; NOT against model()/load()/calibrate.
+  enum class SwapStatus {
+    kSwapped,       // new epoch published
+    kLoadError,     // artifact unreadable (ModelLoadStatus::kIoError)
+    kSpecMismatch,  // artifact disagrees with input_spec()
+    kAborted,       // staged epoch discarded ("model.swap" failpoint)
+  };
+  struct SwapResult {
+    SwapStatus status = SwapStatus::kSwapped;
+    std::uint64_t epoch = 0;  // the epoch serving AFTER this call
+    std::string error;        // empty on success
+    bool ok() const { return status == SwapStatus::kSwapped; }
+  };
+  SwapResult swap_model(const std::string& path);
+
+  // Lifecycle counters (monotonic; epoch starts at 1 and increments per
+  // successful swap). Safe to read concurrently with everything.
+  std::uint64_t epoch() const;
+  std::uint64_t swaps_completed() const;
+  std::uint64_t swaps_rolled_back() const;
 
   // INT8 calibration (nn/quantize.h). Both attach quantized weights to
   // the Conv2d/Dense layers and rebuild the context pool so new leases
@@ -111,11 +193,29 @@ class Authenticator {
   void apply_int8_calibration(const std::vector<nn::CalibrationEntry>& entries);
 
  private:
-  nn::SharedModel model_;
+  // One serving epoch: an immutable model plus the context pool planned
+  // for it. The pool holds a SharedModel copy (keeps the graph alive) and
+  // outstanding Leases hold the pool via the epoch shared_ptr pinned by
+  // classify_batch_into — so a retired epoch is freed exactly when its
+  // last in-flight classify returns.
+  struct Epoch {
+    Epoch(nn::SharedModel m, const dataset::InputSpec& spec);
+    nn::SharedModel model;
+    std::unique_ptr<nn::ContextPool> pool;
+    std::uint64_t id = 1;
+  };
+  // Heap-allocated so the Authenticator stays movable (mutex + atomics).
+  struct Lifecycle {
+    mutable std::mutex mu;  // guards `epoch` (pointer swap + pin copy)
+    std::shared_ptr<Epoch> epoch;
+    std::atomic<std::uint64_t> swaps_completed{0};
+    std::atomic<std::uint64_t> swaps_rolled_back{0};
+  };
+  std::shared_ptr<Epoch> pin_epoch() const;
+  void publish_epoch(std::shared_ptr<Epoch> staged);
+
   dataset::InputSpec spec_;
-  // Lazily grown freelist of arena contexts; wrapped in unique_ptr so the
-  // Authenticator stays movable (the pool holds a mutex).
-  std::unique_ptr<nn::ContextPool> pool_;
+  std::unique_ptr<Lifecycle> life_;
 };
 
 // Convenience: build the model for a given spec and train it on a split.

@@ -203,6 +203,10 @@ std::vector<std::uint8_t> encode_stats_frame(const StatsMsg& msg) {
   put_u64(payload, msg.evicted_ttl);
   put_u64(payload, msg.evicted_lru);
   put_u64(payload, msg.session_bytes);
+  put_u64(payload, msg.epoch);
+  put_u64(payload, msg.swaps_completed);
+  put_u64(payload, msg.swaps_rolled_back);
+  put_u64(payload, msg.stations_drifting);
   return encode_frame(FrameType::kStats, payload);
 }
 
@@ -218,6 +222,12 @@ std::optional<StatsMsg> decode_stats(std::span<const std::uint8_t> payload) {
   if (in.remaining() > 0 &&
       (!in.u64(msg.stations) || !in.u64(msg.evicted_ttl) ||
        !in.u64(msg.evicted_lru) || !in.u64(msg.session_bytes)))
+    return std::nullopt;
+  // Model-lifecycle counters: the next appended group, same contract —
+  // absent entirely (older sender) or fully present.
+  if (in.remaining() > 0 &&
+      (!in.u64(msg.epoch) || !in.u64(msg.swaps_completed) ||
+       !in.u64(msg.swaps_rolled_back) || !in.u64(msg.stations_drifting)))
     return std::nullopt;
   if (!in.done()) return std::nullopt;
   return msg;

@@ -141,6 +141,12 @@ struct StatsMsg {
   std::uint64_t evicted_ttl = 0;    // sessions dropped by TTL expiry
   std::uint64_t evicted_lru = 0;    // sessions dropped by the entry ceiling
   std::uint64_t session_bytes = 0;  // approximate session-table footprint
+  // Model-lifecycle block, appended after the session counters shipped.
+  // Decoders tolerate its absence (old peers leave all four zero).
+  std::uint64_t epoch = 0;              // serving epoch (1 = never swapped)
+  std::uint64_t swaps_completed = 0;    // successful hot swaps
+  std::uint64_t swaps_rolled_back = 0;  // refused swaps (load/spec/inject)
+  std::uint64_t stations_drifting = 0;  // sessions under the drift EWMA bar
   bool operator==(const StatsMsg&) const = default;
 };
 std::vector<std::uint8_t> encode_stats_frame(const StatsMsg& msg);

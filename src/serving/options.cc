@@ -131,6 +131,38 @@ std::optional<ServeOptions> ServeOptions::parse(
   o.service.sessions.max_bytes =
       static_cast<std::size_t>(max_session_mb * 1024.0 * 1024.0);
 
+  // ------------------------------------------------ drift detection
+  double drift_alpha = o.service.sessions.drift_alpha;
+  double drift_threshold = o.service.sessions.drift_threshold;
+  int drift_min = static_cast<int>(o.service.sessions.drift_min_reports);
+  if (!parse_double(flags, "drift-alpha", &drift_alpha, &err) ||
+      !parse_double(flags, "drift-threshold", &drift_threshold, &err) ||
+      !parse_int(flags, "drift-min-reports", &drift_min, &err))
+    return std::nullopt;
+  if (drift_alpha <= 0.0 || drift_alpha > 1.0)
+    return fail("--drift-alpha must be in (0, 1]");
+  if (drift_threshold < 0.0 || drift_threshold > 1.0)
+    return fail("--drift-threshold must be in [0, 1] (0 disables)");
+  if (drift_min < 1) return fail("--drift-min-reports must be >= 1");
+  o.service.sessions.drift_alpha = drift_alpha;
+  o.service.sessions.drift_threshold = drift_threshold;
+  o.service.sessions.drift_min_reports = static_cast<std::size_t>(drift_min);
+
+  // ------------------------------------------------ model lifecycle
+  if (!parse_int(flags, "model-watch", &o.model_watch_ms, &err) ||
+      !parse_int(flags, "shadow-sample", &o.shadow_sample, &err) ||
+      !parse_double(flags, "promote-below", &o.promote_below, &err) ||
+      !parse_int(flags, "promote-min", &o.promote_min, &err))
+    return std::nullopt;
+  o.shadow_model = get(flags, "shadow-model");
+  if (o.model_watch_ms < 0) return fail("--model-watch must be >= 0 ms");
+  if (o.shadow_sample < 1) return fail("--shadow-sample must be >= 1");
+  if (o.promote_min < 1) return fail("--promote-min must be >= 1");
+  if (o.promote_below >= 0.0 && o.shadow_model.empty())
+    return fail("--promote-below requires --shadow-model");
+  if (flags.count("shadow-sample") > 0 && o.shadow_model.empty())
+    return fail("--shadow-sample requires --shadow-model");
+
   o.stats_json = get(flags, "stats-json");
 
   // ------------------------------------------------ front ends
@@ -140,8 +172,14 @@ std::optional<ServeOptions> ServeOptions::parse(
     if (has_pcap || has_listen)
       return fail("fleet generates its own traffic: --pcap/--listen do not "
                   "apply");
+    if (!o.shadow_model.empty() || o.model_watch_ms > 0)
+      return fail("fleet has no live model lifecycle: "
+                  "--shadow-model/--model-watch do not apply");
     return o;
   }
+  if (o.model_watch_ms > 0 && !has_listen)
+    return fail("--model-watch requires --listen (replay runs end before a "
+                "watch matters; use SIGHUP-free restart instead)");
   if (!has_pcap && !has_listen)
     return fail("serve needs --pcap (replay) or --listen (network ingest)");
   if (has_pcap && has_listen)

@@ -54,6 +54,19 @@ struct ServeOptions {
   int shed_high = 0;
   int shed_low = 0;
 
+  // Model lifecycle (serve fronts only). --model-watch polls the weights
+  // file's mtime/size every N ms and hot-swaps when it settles (requires
+  // --listen; SIGHUP always triggers an immediate swap attempt there).
+  int model_watch_ms = 0;  // 0 = disabled
+  // Shadow scoring: candidate model mirrored onto a 1-in-N sample of the
+  // live stream. --promote-below enables auto-promotion once the
+  // candidate's verdict-divergence fraction is strictly below the bound
+  // (after at least --promote-min sampled reports).
+  std::string shadow_model;
+  int shadow_sample = 8;
+  double promote_below = -1.0;  // < 0 = never auto-promote
+  int promote_min = 64;
+
   // Optional machine-readable end-of-run stats (StatsSnapshot JSON).
   std::string stats_json;
 

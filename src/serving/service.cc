@@ -117,6 +117,14 @@ void AuthService::set_verdict_callback(VerdictCallback cb) {
   verdict_cb_ = std::move(cb);
 }
 
+void AuthService::set_shadow_callback(ShadowCallback cb) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  DEEPCSI_CHECK(!started_);  // lane threads read shadow_cb_ unlocked
+  shadow_cb_ = std::move(cb);
+}
+
+void AuthService::on_model_swapped() { sessions_.reset_drift(); }
+
 void AuthService::drain() {
   for (auto& queue : queues_) queue->close();
   scheduler_.join();
@@ -145,9 +153,14 @@ void AuthService::on_batch(std::vector<PendingReport>&& batch,
                                       scratch.predictions.size()));
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    // The report payload was moved into scratch for classification; hand
+    // it back so the shadow hook (and nobody else — batch dies here) can
+    // see the full report without a copy on the primary path.
+    batch[i].report = std::move(scratch.reports[i]);
     const SessionTable::RecordResult r = sessions_.record(
         batch[i].station, scratch.predictions[i], batch[i].timestamp_s);
     if (r.changed && verdict_cb_) verdict_cb_(r.verdict);
+    if (shadow_cb_) shadow_cb_(batch[i], scratch.predictions[i]);
   }
 
   const double latency_ms =
@@ -217,6 +230,9 @@ StatsSnapshot AuthService::stats() const {
     if (s.lanes.back().stalled) ++s.lanes_stalled;
   }
   s.sessions = sessions_.stats();
+  s.lifecycle.epoch = auth_.epoch();
+  s.lifecycle.swaps_completed = auth_.swaps_completed();
+  s.lifecycle.swaps_rolled_back = auth_.swaps_rolled_back();
   s.queue_budget = cfg_.queue_capacity;
   s.watchdog_stall_s =
       std::chrono::duration<double>(cfg_.watchdog_stall).count();

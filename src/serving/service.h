@@ -98,6 +98,23 @@ class AuthService {
   using VerdictCallback = std::function<void(const StationVerdict&)>;
   void set_verdict_callback(VerdictCallback cb);
 
+  // Observes EVERY classified report (not just verdict transitions):
+  // station, timestamp, the report payload and the primary model's
+  // prediction. Invoked from lane threads under no service lock, after
+  // the prediction is folded into the SessionTable — the hook the shadow
+  // scorer taps to mirror a sampled slice of the live stream onto a
+  // candidate model without touching the primary path. Same rules as the
+  // verdict callback: thread-safe, fast, set before start().
+  using ShadowCallback = std::function<void(
+      const PendingReport&, const core::Authenticator::Prediction&)>;
+  void set_shadow_callback(ShadowCallback cb);
+
+  // Tell the service the Authenticator it serves just published a new
+  // epoch: resets every station's drift EWMA (confidence history under
+  // the old weights says nothing about the new ones). Windows, votes and
+  // lifetime counters are untouched — verdict continuity survives swaps.
+  void on_model_swapped();
+
   // Stops intake, classifies everything still queued, and joins the
   // lane threads. Idempotent.
   void drain();
@@ -134,6 +151,7 @@ class AuthService {
   const core::Authenticator& auth_;
   ServiceConfig cfg_;
   VerdictCallback verdict_cb_;  // set before start(), read by lane threads
+  ShadowCallback shadow_cb_;    // ditto
   // One bounded queue per lane (ReportQueue is not movable, hence the
   // unique_ptr indirection).
   std::vector<std::unique_ptr<common::ReportQueue<PendingReport>>> queues_;

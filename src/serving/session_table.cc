@@ -36,6 +36,9 @@ std::size_t SessionTable::session_footprint_bytes(std::size_t window) {
 SessionTable::SessionTable(SessionConfig cfg) : cfg_(cfg) {
   DEEPCSI_CHECK(cfg_.window >= 1);
   DEEPCSI_CHECK(cfg_.ttl_s >= 0.0);
+  DEEPCSI_CHECK(cfg_.drift_alpha > 0.0 && cfg_.drift_alpha <= 1.0);
+  DEEPCSI_CHECK(cfg_.drift_threshold >= 0.0 && cfg_.drift_threshold <= 1.0);
+  DEEPCSI_CHECK(cfg_.drift_min_reports >= 1);
   if (cfg_.num_shards == 0) cfg_.num_shards = 1;
   blob_bytes_ = cfg_.window * (sizeof(WindowEntry) + sizeof(VoteCount));
   // Fold the byte ceiling into an entry count; when both bounds are set
@@ -143,6 +146,7 @@ void SessionTable::lru_push_front(Shard& shard, std::uint64_t key, Session& s) {
 void SessionTable::evict(Shard& shard, std::uint64_t key) {
   auto it = shard.sessions.find(key);
   DEEPCSI_CHECK(it != shard.sessions.end());
+  if (it->second.drifting) --shard.drifting;
   lru_unlink(shard, key, it->second);
   shard.sessions.erase(it);
 }
@@ -181,6 +185,24 @@ SessionTable::RecordResult SessionTable::record(
   ++s.total_reports;
   s.last_timestamp_s = timestamp_s;
 
+  // Drift EWMA: seeded with the first observation so warm-up is not
+  // dragged down by the 0 initial value, then standard exponential decay.
+  s.conf_ewma = s.ewma_reports == 0
+                    ? prediction.confidence
+                    : cfg_.drift_alpha * prediction.confidence +
+                          (1.0 - cfg_.drift_alpha) * s.conf_ewma;
+  ++s.ewma_reports;
+  const bool now_drifting = cfg_.drift_threshold > 0.0 &&
+                            s.ewma_reports >= cfg_.drift_min_reports &&
+                            s.conf_ewma < cfg_.drift_threshold;
+  if (now_drifting != s.drifting) {
+    s.drifting = now_drifting;
+    if (now_drifting)
+      ++shard.drifting;
+    else
+      --shard.drifting;
+  }
+
   // TTL sweep from the cold end. Stream time only: a replayed capture
   // evicts exactly the same stations at exactly the same reports every
   // run. The station being recorded is at the LRU head and is skipped by
@@ -217,6 +239,8 @@ StationVerdict SessionTable::verdict_of(std::uint64_t key,
   v.last_timestamp_s = s.last_timestamp_s;
   if (s.len > 0)
     v.mean_confidence = s.confidence_sum / static_cast<double>(s.len);
+  v.confidence_ewma = s.conf_ewma;
+  v.drifting = s.drifting;
   v.module_id = majority(s, &v.votes);
   return v;
 }
@@ -255,6 +279,7 @@ SessionTableStats SessionTable::stats() const {
     st.peak_stations += shard.peak_stations;
     st.evicted_ttl += shard.evicted_ttl;
     st.evicted_lru += shard.evicted_lru;
+    st.stations_drifting += shard.drifting;
   }
   st.approx_bytes = st.stations * session_footprint_bytes(cfg_.window);
   st.station_ceiling = station_ceiling_;
@@ -429,6 +454,8 @@ SessionTable::RestoreStatus SessionTable::restore_snapshot(
     shards_[i].sessions.clear();
     shards_[i].lru_head = kNil;
     shards_[i].lru_tail = kNil;
+    // Drift EWMA is not in the image: every restored session re-warms.
+    shards_[i].drifting = 0;
   }
   // Oldest pushed first ends up at the tail — first in line to evict.
   for (auto& [key, session] : staged) {
@@ -440,6 +467,19 @@ SessionTable::RestoreStatus SessionTable::restore_snapshot(
     shard.peak_stations = std::max(shard.peak_stations, shard.sessions.size());
   }
   return RestoreStatus::kRestored;
+}
+
+void SessionTable::reset_drift() {
+  for (std::size_t i = 0; i < cfg_.num_shards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [key, s] : shard.sessions) {
+      s.conf_ewma = 0.0;
+      s.ewma_reports = 0;
+      s.drifting = false;
+    }
+    shard.drifting = 0;
+  }
 }
 
 std::size_t SessionTable::num_stations() const {

@@ -57,6 +57,19 @@ struct SessionConfig {
   std::size_t max_bytes = 0;     // global ceiling on approximate session
                                  // memory (converted to an entry count via
                                  // session_footprint_bytes)
+
+  // Drift detection: each station keeps a rolling EWMA of the
+  // classifier's argmax confidence (seeded with the first observation,
+  // then ewma = alpha*conf + (1-alpha)*ewma). A station whose EWMA sinks
+  // below drift_threshold after at least drift_min_reports observations
+  // is flagged as DRIFTING — its fingerprint no longer matches the model
+  // crisply, the channel-decay signal that should trigger retraining.
+  // The EWMA is epoch-local serving state: it is NOT persisted in
+  // snapshots and reset_drift() clears it after a model hot swap (old
+  // confidences say nothing about the new model).
+  double drift_alpha = 0.1;           // EWMA smoothing factor, in (0, 1]
+  double drift_threshold = 0.0;       // flag below this; 0 = disabled
+  std::size_t drift_min_reports = 8;  // EWMA warm-up before flagging
 };
 
 // The decision for one station, as of the last recorded prediction.
@@ -68,6 +81,8 @@ struct StationVerdict {
   std::size_t total_reports = 0; // lifetime predictions for this station
   double mean_confidence = 0.0;  // over the current window
   double last_timestamp_s = 0.0;
+  double confidence_ewma = 0.0;  // drift EWMA (0 until the first record)
+  bool drifting = false;         // EWMA below the configured threshold
 };
 
 // Occupancy and eviction counters, aggregated over all shards. Counters
@@ -81,6 +96,7 @@ struct SessionTableStats {
   std::size_t station_ceiling = 0;  // effective global entry cap (0 = none);
                                     // num_shards * per-shard cap, so it can
                                     // differ from max_stations by rounding
+  std::size_t stations_drifting = 0;  // live sessions currently flagged
 };
 
 class SessionTable {
@@ -136,6 +152,12 @@ class SessionTable {
   RestoreStatus restore_snapshot(const std::string& path,
                                  std::string* error = nullptr);
 
+  // Zero every station's drift EWMA (and the drifting flags) without
+  // touching windows, votes or lifetime counters. Called after a model
+  // hot swap: confidences measured under the old epoch are not evidence
+  // about the new one, so each station re-warms its EWMA from scratch.
+  void reset_drift();
+
   std::size_t num_stations() const;
   SessionTableStats stats() const;
   const SessionConfig& config() const { return cfg_; }
@@ -170,6 +192,12 @@ class SessionTable {
     std::uint64_t total_reports = 0;
     double confidence_sum = 0.0;
     double last_timestamp_s = 0.0;
+    // Drift EWMA — epoch-local, never serialized into snapshots (the
+    // snapshot format is unchanged by drift detection; a restored or
+    // post-swap session re-warms from zero observations).
+    double conf_ewma = 0.0;
+    std::uint64_t ewma_reports = 0;
+    bool drifting = false;
     // Intrusive per-shard LRU list, most-recent at head.
     std::uint64_t lru_prev = kNil;
     std::uint64_t lru_next = kNil;
@@ -182,6 +210,8 @@ class SessionTable {
     std::uint64_t evicted_ttl = 0;
     std::uint64_t evicted_lru = 0;
     std::size_t peak_stations = 0;
+    std::size_t drifting = 0;  // sessions currently flagged, maintained on
+                               // flag transitions and on eviction
   };
 
   Shard& shard_for(std::uint64_t key) const;

@@ -75,9 +75,27 @@ std::string StatsSnapshot::render_text() const {
     appendf(out, "), evicted: ttl=%llu lru=%llu, table ~%.1f MiB",
             ull(sessions.evicted_ttl), ull(sessions.evicted_lru),
             mib(sessions.approx_bytes));
+    if (sessions.stations_drifting > 0)
+      appendf(out, ", DRIFTING %zu", sessions.stations_drifting);
     if (process_rss_bytes > 0)
       appendf(out, ", rss %.1f MiB", mib(process_rss_bytes));
     appendf(out, "\n");
+  }
+  // Lifecycle line only once a swap was attempted — a run that never
+  // swaps renders byte-identically to the pre-lifecycle format.
+  if (lifecycle.swaps_completed > 0 || lifecycle.swaps_rolled_back > 0) {
+    appendf(out, "lifecycle    epoch %llu, swaps: completed=%llu "
+            "rolled-back=%llu\n",
+            ull(lifecycle.epoch), ull(lifecycle.swaps_completed),
+            ull(lifecycle.swaps_rolled_back));
+  }
+  if (shadow.present) {
+    appendf(out,
+            "shadow       %llu sampled, %llu diverged (%llu station(s)), "
+            "mean conf delta %+.4f%s\n",
+            ull(shadow.sampled), ull(shadow.diverged),
+            ull(shadow.stations_diverging), shadow.mean_confidence_delta,
+            shadow.promoted ? ", PROMOTED" : "");
   }
   // Watchdog: a lane with queued work that has stopped flushing is the
   // one failure this block must never hide.
@@ -148,10 +166,15 @@ std::string StatsSnapshot::render_json() const {
   appendf(out,
           ",\"sessions\":{\"stations\":%zu,\"peak_stations\":%zu,"
           "\"station_ceiling\":%zu,\"evicted_ttl\":%llu,\"evicted_lru\":%llu,"
-          "\"approx_bytes\":%zu}",
+          "\"approx_bytes\":%zu,\"stations_drifting\":%zu}",
           sessions.stations, sessions.peak_stations, sessions.station_ceiling,
           ull(sessions.evicted_ttl), ull(sessions.evicted_lru),
-          sessions.approx_bytes);
+          sessions.approx_bytes, sessions.stations_drifting);
+  appendf(out,
+          ",\"lifecycle\":{\"epoch\":%llu,\"swaps_completed\":%llu,"
+          "\"swaps_rolled_back\":%llu}",
+          ull(lifecycle.epoch), ull(lifecycle.swaps_completed),
+          ull(lifecycle.swaps_rolled_back));
   appendf(out,
           ",\"watchdog\":{\"consumers\":%zu,\"lanes_stalled\":%zu,"
           "\"stall_threshold_s\":%.3f}",
@@ -186,6 +209,15 @@ std::string StatsSnapshot::render_json() const {
             "\"bytes_sent\":%llu}",
             ull(publish.subscribers_accepted), ull(publish.frames_published),
             ull(publish.frames_dropped), ull(publish.bytes_sent));
+  }
+  if (shadow.present) {
+    appendf(out,
+            ",\"shadow\":{\"sampled\":%llu,\"diverged\":%llu,"
+            "\"stations_diverging\":%llu,\"mean_confidence_delta\":%.6f,"
+            "\"promoted\":%s}",
+            ull(shadow.sampled), ull(shadow.diverged),
+            ull(shadow.stations_diverging), shadow.mean_confidence_delta,
+            shadow.promoted ? "true" : "false");
   }
   appendf(out, ",\"process_rss_bytes\":%zu}", process_rss_bytes);
   out.push_back('\n');

@@ -54,6 +54,30 @@ struct StatsSnapshot {
   // ------------------------------------------------ session table
   SessionTableStats sessions;  // occupancy, peaks, eviction counters
 
+  // ------------------------------------------------ model lifecycle
+  // Filled from the Authenticator the service classifies through. Epoch
+  // starts at 1; each successful hot swap increments it, each refused one
+  // (load error, spec mismatch, injected failpoint) counts a rollback.
+  struct Lifecycle {
+    std::uint64_t epoch = 0;
+    std::uint64_t swaps_completed = 0;
+    std::uint64_t swaps_rolled_back = 0;
+  };
+  Lifecycle lifecycle;
+
+  // ------------------------------------------------ shadow scoring
+  // Copied in by the owner of the ShadowScorer (the CLI glue), like the
+  // network front ends below — present only when a candidate is loaded.
+  struct Shadow {
+    bool present = false;
+    std::uint64_t sampled = 0;       // reports mirrored to the candidate
+    std::uint64_t diverged = 0;      // candidate argmax != primary argmax
+    double mean_confidence_delta = 0.0;  // mean(candidate - primary)
+    std::uint64_t stations_diverging = 0;  // stations with any divergence
+    bool promoted = false;           // candidate auto-promoted this run
+  };
+  Shadow shadow;
+
   // ------------------------------------------------ configured context
   std::size_t queue_budget = 0;    // total queued-report budget
   double watchdog_stall_s = 0.0;   // stall threshold behind lanes_stalled

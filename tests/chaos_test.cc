@@ -377,5 +377,98 @@ TEST(ChaosTest, SnapshotRestoreMidStreamReachesTheSameFinalVerdicts) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- hot-swap storm, live
+
+TEST(ChaosTest, SwapStormDuringLiveLoopbackKeepsVerdictParity) {
+  // A seeded failpoint storm on the model-lifecycle sites while reports
+  // flow through the real TCP loopback: swap attempts race the serving
+  // path, many are shot down mid-flight (model.load synthesizes torn
+  // reads, model.swap discards fully staged epochs). The candidate is
+  // the INCUMBENT's own weights, so whatever mix of published and
+  // rolled-back swaps the seeds produce, the verdict stream must come
+  // out bit-identical to a replay that never swapped at all — the
+  // zero-downtime contract under fire.
+  dataset::InputSpec spec;
+  spec.subcarrier_stride = 4;
+  core::Authenticator auth = quick_authenticator(spec);
+  const auto stream = multi_station_stream(4, 6);
+
+  // Candidate artifact = the incumbent's weights, saved as a full trio.
+  const std::string model_path =
+      std::string(::testing::TempDir()) + "/chaos_swap.model";
+  auth.save(model_path);
+  core::save_model_meta(model_path,
+                        {{"filters", core::quick_model_config().filters},
+                         {"stride", spec.subcarrier_stride},
+                         {"classes", phy::kNumModules}});
+
+  serving::ServiceConfig cfg;
+  cfg.queue_capacity = 64;
+  cfg.consumers = 2;
+  cfg.scheduler.max_batch = 8;
+  cfg.scheduler.max_latency = 2ms;
+  cfg.sessions.window = 7;
+
+  // Calm reference: same stream, no network, no swaps.
+  std::vector<serving::StationVerdict> offline;
+  {
+    serving::AuthService service(auth, cfg);
+    service.start();
+    for (const auto& obs : stream) ASSERT_TRUE(service.submit(obs));
+    service.drain();
+    offline = service.sessions().snapshot();
+  }
+
+  ScopedSpec storm(
+      "model.load=err(EIO,p=0.35,seed=7);"
+      "model.swap=reject(p=0.35,seed=9)");
+
+  serving::AuthService service(auth, cfg);
+  service.start();
+  net::TcpIngestServer ingest(
+      {}, [&service](capture::ObservedFeedback& obs) {
+        return service.try_submit(obs);
+      });
+  ingest.start();
+
+  // The swapper hammers swap_model while the client streams reports. A
+  // FIXED attempt count keeps the seeded fire pattern deterministic:
+  // 64 draws at p=0.35 on each site guarantee both rollbacks and
+  // published swaps, whatever the thread interleaving.
+  std::thread swapper([&] {
+    for (int i = 0; i < 64; ++i) {
+      const auto r = auth.swap_model(model_path);
+      // Only the two injected failure modes may appear: the artifact
+      // itself is always valid.
+      EXPECT_TRUE(r.ok() ||
+                  r.status == core::Authenticator::SwapStatus::kLoadError ||
+                  r.status == core::Authenticator::SwapStatus::kAborted)
+          << r.error;
+    }
+  });
+
+  auto client = net::NetClient::connect("127.0.0.1", ingest.port());
+  for (const auto& obs : stream) {
+    ASSERT_TRUE(client.send_report(obs));
+    std::this_thread::sleep_for(1ms);  // stretch traffic across the storm
+  }
+  client.close();
+  swapper.join();
+  ingest.wait_until_idle();
+  ingest.stop();
+  service.drain();
+
+  // The storm really exercised both failure sites AND let some swaps
+  // through (seeds chosen so neither side is empty)...
+  EXPECT_GT(auth.swaps_rolled_back(), 0u);
+  EXPECT_GT(auth.swaps_completed(), 0u);
+  EXPECT_EQ(auth.epoch(), 1u + auth.swaps_completed());
+  // ...and none of it moved a single verdict.
+  expect_identical(service.sessions().snapshot(), offline);
+  EXPECT_EQ(ingest.stats().reports_dropped, 0u);
+  std::remove(model_path.c_str());
+  std::remove((model_path + ".meta").c_str());
+}
+
 }  // namespace
 }  // namespace deepcsi

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/failpoint.h"
 
 namespace deepcsi {
@@ -146,6 +147,55 @@ TEST_F(FailpointTest, MalformedSpecsThrow) {
   for (const auto& spec : bad)
     EXPECT_THROW(failpoints::configure_spec(spec, "test"), std::invalid_argument)
         << spec;
+}
+
+// ----------------------------------------------------- site: file.fsync
+
+std::string read_all(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[256];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST_F(FailpointTest, FileFsyncFailureAbortsAtomicWriteCleanly) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/fp-fsync.dat";
+  common::write_file_atomic(path, std::string("old contents"));
+  {
+    // First evaluation is the DATA fsync: the write must fail whole —
+    // destination untouched, temp file gone.
+    failpoints::ScopedSpec spec("file.fsync=err(EIO,n=1)");
+    EXPECT_THROW(common::write_file_atomic(path, std::string("new")),
+                 std::runtime_error);
+    EXPECT_EQ(read_all(path), "old contents");
+  }
+  // Site disarmed: the same call now goes through.
+  common::write_file_atomic(path, std::string("new contents"));
+  EXPECT_EQ(read_all(path), "new contents");
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, DirectoryFsyncFailureThrowsAfterRename) {
+  // skip=1 lets the data fsync pass and fires on the PARENT-DIRECTORY
+  // fsync — the rename has already happened, so the new contents are
+  // visible, but the caller still sees a throw (documented contract:
+  // treat any throw as "the write is not durable").
+  const std::string path =
+      std::string(::testing::TempDir()) + "/fp-dirsync.dat";
+  common::write_file_atomic(path, std::string("old"));
+  {
+    failpoints::ScopedSpec spec("file.fsync=err(EIO,skip=1,n=1)");
+    EXPECT_THROW(common::write_file_atomic(path, std::string("renamed")),
+                 std::runtime_error);
+    EXPECT_EQ(read_all(path), "renamed");
+  }
+  EXPECT_GE(failpoints::fire_count("file.fsync"), 1u);
+  std::remove(path.c_str());
 }
 
 TEST_F(FailpointTest, ReconfigureOverwritesAction) {

@@ -160,6 +160,92 @@ TEST(ServeOptionsTest, FleetForbidsFrontEndFlagsAndNeedsOnlyModel) {
                      ServeOptions::Front::kFleet, &err));
 }
 
+TEST(ServeOptionsTest, DriftKnobsLandInSessionConfigAndAreRangeChecked) {
+  std::string err;
+  const auto o = parse({{"model", "m"},
+                        {"pcap", "c"},
+                        {"drift-alpha", "0.25"},
+                        {"drift-threshold", "0.4"},
+                        {"drift-min-reports", "16"}},
+                       ServeOptions::Front::kServe, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->service.sessions.drift_alpha, 0.25);
+  EXPECT_EQ(o->service.sessions.drift_threshold, 0.4);
+  EXPECT_EQ(o->service.sessions.drift_min_reports, 16u);
+  // Defaults: detection disabled (threshold 0), EWMA knobs sane.
+  const auto d = parse({{"model", "m"}, {"pcap", "c"}},
+                       ServeOptions::Front::kServe, &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  EXPECT_EQ(d->service.sessions.drift_threshold, 0.0);
+
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"drift-alpha", "0"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("--drift-alpha"), std::string::npos);
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"drift-alpha", "1.5"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(
+      parse({{"model", "m"}, {"pcap", "c"}, {"drift-threshold", "1.2"}},
+            ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(
+      parse({{"model", "m"}, {"pcap", "c"}, {"drift-min-reports", "0"}},
+            ServeOptions::Front::kServe, &err));
+}
+
+TEST(ServeOptionsTest, LifecycleKnobsValidateTheirDependencies) {
+  std::string err;
+  const auto o = parse({{"model", "m"},
+                        {"listen", "9000"},
+                        {"model-watch", "500"},
+                        {"shadow-model", "cand.bin"},
+                        {"shadow-sample", "4"},
+                        {"promote-below", "0.05"},
+                        {"promote-min", "128"}},
+                       ServeOptions::Front::kServe, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->model_watch_ms, 500);
+  EXPECT_EQ(o->shadow_model, "cand.bin");
+  EXPECT_EQ(o->shadow_sample, 4);
+  EXPECT_EQ(o->promote_below, 0.05);
+  EXPECT_EQ(o->promote_min, 128);
+
+  // --model-watch only makes sense with a long-lived network front end.
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"model-watch", "500"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("--model-watch requires --listen"), std::string::npos);
+  // Promotion gates are meaningless without a candidate to promote.
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"promote-below", "0.1"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("--promote-below requires --shadow-model"),
+            std::string::npos);
+  EXPECT_FALSE(parse({{"model", "m"}, {"pcap", "c"}, {"shadow-sample", "4"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_NE(err.find("--shadow-sample requires --shadow-model"),
+            std::string::npos);
+  // Ranges.
+  EXPECT_FALSE(parse({{"model", "m"}, {"listen", "9000"}, {"model-watch", "-1"}},
+                     ServeOptions::Front::kServe, &err));
+  EXPECT_FALSE(parse({{"model", "m"},
+                      {"listen", "9000"},
+                      {"shadow-model", "c"},
+                      {"shadow-sample", "0"}},
+                     ServeOptions::Front::kServe, &err));
+}
+
+TEST(ServeOptionsTest, FleetHasNoLiveModelLifecycle) {
+  std::string err;
+  EXPECT_FALSE(parse({{"model", "m"}, {"shadow-model", "c.bin"}},
+                     ServeOptions::Front::kFleet, &err));
+  EXPECT_NE(err.find("fleet has no live model lifecycle"), std::string::npos);
+  EXPECT_FALSE(parse({{"model", "m"}, {"model-watch", "500"}},
+                     ServeOptions::Front::kFleet, &err));
+  // Drift detection, by contrast, is a SessionTable feature and works
+  // anywhere sessions do — including the fleet simulator.
+  const auto o = parse({{"model", "m"}, {"drift-threshold", "0.5"}},
+                       ServeOptions::Front::kFleet, &err);
+  ASSERT_TRUE(o.has_value()) << err;
+  EXPECT_EQ(o->service.sessions.drift_threshold, 0.5);
+}
+
 TEST(ServeOptionsTest, UnknownKeysAreIgnored) {
   // Verbs own their extra flags (fleet's --stations, drive's knobs); the
   // shared parser must not reject them.

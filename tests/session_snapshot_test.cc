@@ -185,6 +185,61 @@ TEST(SessionSnapshotTest, CorruptionIsRefusedWholeAndTheTableKeepsItsState) {
   std::remove(path.c_str());
 }
 
+TEST(SessionSnapshotTest, SnapshotSurvivesHotSwapWithDriftEwmaReset) {
+  // The model-lifecycle contract: a snapshot written under serving epoch
+  // N restores cleanly into a process that hot-swapped to epoch N+1.
+  // Rolling windows, votes and lifetime counters carry over bit-for-bit
+  // — verdict continuity does not care which weights produced the
+  // predictions. The drift EWMA does care (it measures THIS model's
+  // confidence), so it is deliberately NOT in the image: every restored
+  // session re-warms from zero observations, exactly like reset_drift()
+  // after an in-process swap.
+  const std::string path = scratch_path("epoch-swap.snap");
+  SessionConfig cfg;
+  cfg.window = 9;
+  cfg.drift_threshold = 0.9;  // synth confidences sit near 0.5: all drift
+  cfg.drift_min_reports = 4;
+  SessionTable original(cfg);
+  feed(original, 0, 123, 4);
+  ASSERT_GT(original.stats().stations_drifting, 0u);
+  for (const StationVerdict& v : original.snapshot()) {
+    EXPECT_GT(v.confidence_ewma, 0.0);
+    EXPECT_TRUE(v.drifting);
+  }
+  original.save_snapshot(path);  // the "epoch N" image
+
+  // "Epoch N+1": the original swaps in-process (reset_drift), while a
+  // second process restores the same image cold. Both must agree.
+  original.reset_drift();
+  EXPECT_EQ(original.stats().stations_drifting, 0u);
+  SessionTable restored(cfg);
+  ASSERT_EQ(restored.restore_snapshot(path),
+            SessionTable::RestoreStatus::kRestored);
+  EXPECT_EQ(restored.stats().stations_drifting, 0u);
+  for (const StationVerdict& v : restored.snapshot()) {
+    EXPECT_EQ(v.confidence_ewma, 0.0);  // not persisted, by design
+    EXPECT_FALSE(v.drifting);
+  }
+  expect_identical(restored.snapshot(), original.snapshot());
+
+  // Under the new epoch both re-warm identically: same tail of
+  // predictions, same EWMAs, same drift flags, same verdicts.
+  feed(original, 123, 77, 4);
+  feed(restored, 123, 77, 4);
+  expect_identical(restored.snapshot(), original.snapshot());
+  const auto a = original.snapshot();
+  const auto b = restored.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].confidence_ewma, b[i].confidence_ewma);
+    EXPECT_EQ(a[i].drifting, b[i].drifting);
+  }
+  EXPECT_EQ(original.stats().stations_drifting,
+            restored.stats().stations_drifting);
+  EXPECT_GT(restored.stats().stations_drifting, 0u);  // re-flagged by tail
+  std::remove(path.c_str());
+}
+
 TEST(SessionSnapshotTest, WindowMismatchIsRefused) {
   // A snapshot taken under one verdict window cannot be folded into a
   // table configured with another: the rolling majorities would silently

@@ -52,6 +52,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <sys/stat.h>
 #include <thread>
 #include <vector>
 
@@ -70,6 +71,7 @@
 #include "serving/options.h"
 #include "serving/replay.h"
 #include "serving/service.h"
+#include "serving/shadow.h"
 #include "serving/stats.h"
 
 namespace {
@@ -155,6 +157,11 @@ int usage() {
                "[--window W=31] [--consumers K=1] [--watchdog-ms W=2000]\n"
                "           [--shards S=8] [--ttl SECONDS=0] [--max-stations N=0] "
                "[--max-session-mb MB=0] [--stats-json PATH]\n"
+               "           [--model-watch MS=0] [--shadow-model M.bin] "
+               "[--shadow-sample N=8] [--promote-below DIV] [--promote-min "
+               "N=64]\n"
+               "           [--drift-alpha A=0.1] [--drift-threshold T=0] "
+               "[--drift-min-reports N=8]   (SIGHUP hot-swaps --model)\n"
                "  fleet    --model MODEL.bin [--stations N=100000] "
                "[--reports R=2] [--producers P=2] [--mobile F=0.1] "
                "[--confused F=0]\n"
@@ -207,8 +214,32 @@ core::ExperimentConfig config_from(const Args& args) {
   return cfg;
 }
 
-// Rebuild the Authenticator saved by `train`: the ".meta" sidecar restores
-// the training-time architecture; explicit flags still override.
+// Turn a loaded artifact into a serving-ready Authenticator (calibration
+// applied, int8-backend warning emitted when the sidecar is absent).
+core::Authenticator make_authenticator(core::LoadedModel&& lm,
+                                       const std::string& path) {
+  core::Authenticator auth(std::move(*lm.model), lm.spec);
+  // The int8 calibration sidecar rides next to the weights like .meta.
+  // Missing is fine (pre-int8 model) — but if the user explicitly asked
+  // for the int8 backend, say out loud that the layers will run fp32.
+  if (lm.calibration) {
+    auth.apply_int8_calibration(*lm.calibration);
+  } else if (simd::active() == simd::Backend::kAvx2Int8) {
+    std::fprintf(stderr,
+                 "deepcsi: DEEPCSI_SIMD=avx2_int8 but %s has no .calib "
+                 "sidecar (model trained before int8 support?); "
+                 "conv/dense layers will run the fp32 avx2 kernels\n",
+                 path.c_str());
+  }
+  return auth;
+}
+
+// Rebuild the Authenticator saved by `train` through the one validated
+// artifact path (weights + .meta + .calib as a unit). The ".meta" sidecar
+// restores the training-time architecture; a spec that disagrees with the
+// serving geometry (e.g. an explicit --stride fighting the sidecar) is
+// REFUSED at startup — exit 2 with both specs in the diagnostic — instead
+// of loading a model that would classify garbage features.
 core::Authenticator load_authenticator(const Args& args) {
   Args effective = args;
   for (const auto& [key, value] : core::load_model_meta(args.get("model")))
@@ -216,26 +247,39 @@ core::Authenticator load_authenticator(const Args& args) {
   const dataset::InputSpec spec = spec_from(effective);
   const core::ExperimentConfig cfg = config_from(effective);
 
-  nn::Sequential model = core::build_deepcsi_model(
-      dataset::num_input_channels(spec),
-      static_cast<int>(dataset::num_input_columns(spec)), phy::kNumModules,
-      cfg.model);
-  core::Authenticator auth(std::move(model), spec);
-  auth.load(args.get("model"));
-  // The int8 calibration sidecar rides next to the weights like .meta.
-  // Missing is fine (pre-int8 model) — but if the user explicitly asked
-  // for the int8 backend, say out loud that the layers will run fp32.
-  // A present-but-corrupt sidecar throws and the command exits nonzero.
-  if (const auto calib = nn::load_calibration(args.get("model"))) {
-    auth.apply_int8_calibration(*calib);
-  } else if (simd::active() == simd::Backend::kAvx2Int8) {
-    std::fprintf(stderr,
-                 "deepcsi: DEEPCSI_SIMD=avx2_int8 but %s has no .calib "
-                 "sidecar (model trained before int8 support?); "
-                 "conv/dense layers will run the fp32 avx2 kernels\n",
-                 args.get("model").c_str());
+  core::LoadedModel lm;
+  std::string err;
+  switch (core::load_model_artifact(args.get("model"), spec, cfg.model, &lm,
+                                    &err)) {
+    case core::ModelLoadStatus::kOk:
+      break;
+    case core::ModelLoadStatus::kSpecMismatch:
+      std::fprintf(stderr, "deepcsi: %s\n", err.c_str());
+      std::exit(2);
+    case core::ModelLoadStatus::kIoError:
+      throw std::runtime_error(err);
   }
-  return auth;
+  return make_authenticator(std::move(lm), args.get("model"));
+}
+
+// Load a shadow CANDIDATE against the primary's geometry: same refusal
+// rules as the primary (a candidate that cannot ever be promoted cleanly
+// should fail at startup, not after an hour of shadow scoring).
+core::Authenticator load_candidate(const std::string& path,
+                                   const core::Authenticator& primary) {
+  core::LoadedModel lm;
+  std::string err;
+  switch (core::load_model_artifact(path, primary.input_spec(),
+                                    core::quick_model_config(), &lm, &err)) {
+    case core::ModelLoadStatus::kOk:
+      break;
+    case core::ModelLoadStatus::kSpecMismatch:
+      std::fprintf(stderr, "deepcsi: shadow %s\n", err.c_str());
+      std::exit(2);
+    case core::ModelLoadStatus::kIoError:
+      throw std::runtime_error("shadow " + err);
+  }
+  return make_authenticator(std::move(lm), path);
 }
 
 int cmd_generate(const Args& args) {
@@ -319,8 +363,10 @@ int cmd_train(const Args& args) {
   auth.save(args.get("out"));
   // Sidecar metadata so `classify` / `serve` can rebuild the same
   // architecture without the user re-passing flags.
-  core::save_model_meta(args.get("out"), {{"filters", cfg.model.filters},
-                                          {"stride", spec.subcarrier_stride}});
+  core::save_model_meta(args.get("out"),
+                        {{"filters", cfg.model.filters},
+                         {"stride", spec.subcarrier_stride},
+                         {"classes", train.num_classes}});
   // Calibrate int8 activation ranges on the training set and persist
   // them next to the weights, so any later `classify`/`serve`/`fleet`
   // can run DEEPCSI_SIMD=avx2_int8 without retraining.
@@ -381,6 +427,27 @@ net::VerdictMsg to_verdict_msg(const serving::StationVerdict& v) {
 volatile std::sig_atomic_t g_interrupted = 0;
 void on_shutdown_signal(int) { g_interrupted = 1; }
 
+// SIGHUP = "reload your model" (the classic config-reload signal): the
+// listen loop notices the flag and hot-swaps from the --model path. A
+// failed swap logs and keeps serving the incumbent epoch.
+volatile std::sig_atomic_t g_hup = 0;
+void on_hup_signal(int) { g_hup = 1; }
+
+// mtime+size stamp for --model-watch. Nanosecond mtime so back-to-back
+// rewrites in one second still change the stamp.
+struct FileStamp {
+  std::int64_t mtime_ns = -1;  // -1 = file absent
+  std::int64_t size = -1;
+  bool operator==(const FileStamp&) const = default;
+};
+FileStamp stamp_of(const std::string& path) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0) return {};
+  return {static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+              static_cast<std::int64_t>(st.st_mtim.tv_nsec),
+          static_cast<std::int64_t>(st.st_size)};
+}
+
 void print_verdicts(const serving::AuthService& service,
                     const serving::ServiceConfig& cfg) {
   std::printf("\nper-station verdicts (rolling window of %zu):\n",
@@ -421,7 +488,7 @@ int cmd_serve_listen(const Args& args, const serving::ServeOptions& o) {
   const int shed_high = o.shed_high;
   const int shed_low = o.shed_low;
 
-  const core::Authenticator auth = load_authenticator(args);
+  core::Authenticator auth = load_authenticator(args);
 
   std::optional<net::VerdictPublisher> pub;
   if (o.publish) {
@@ -432,11 +499,31 @@ int cmd_serve_listen(const Args& args, const serving::ServeOptions& o) {
     pub->start();
   }
 
+  // Shadow scorer before the service: lane threads call observe() until
+  // drain() completes, so the scorer must outlive the service.
+  std::optional<serving::ShadowScorer> shadow;
+  if (!o.shadow_model.empty()) {
+    serving::ShadowConfig scfg;
+    scfg.sample_every = static_cast<std::size_t>(o.shadow_sample);
+    scfg.max_divergence = o.promote_below;
+    scfg.min_samples = static_cast<std::uint64_t>(o.promote_min);
+    shadow.emplace(load_candidate(o.shadow_model, auth), scfg);
+    std::printf("serve: shadow-scoring %s on 1-in-%d of the stream%s\n",
+                o.shadow_model.c_str(), o.shadow_sample,
+                o.promote_below >= 0.0 ? " (auto-promote armed)" : "");
+  }
+
   serving::AuthService service(auth, cfg);
   if (pub)
     service.set_verdict_callback([&pub](const serving::StationVerdict& v) {
       pub->publish(to_verdict_msg(v));
     });
+  if (shadow)
+    service.set_shadow_callback(
+        [&shadow](const serving::PendingReport& r,
+                  const core::Authenticator::Prediction& p) {
+          shadow->observe(r, p);
+        });
   if (!state_file.empty()) {
     // Restore BEFORE any report flows: rolling majorities pick up where
     // the previous process (clean exit or kill -9) last snapshotted.
@@ -502,6 +589,7 @@ int cmd_serve_listen(const Args& args, const serving::ServeOptions& o) {
 
   std::signal(SIGINT, on_shutdown_signal);
   std::signal(SIGTERM, on_shutdown_signal);
+  std::signal(SIGHUP, on_hup_signal);
   auto last_save = std::chrono::steady_clock::now();
   const auto maybe_snapshot = [&] {
     if (state_file.empty()) return;
@@ -515,13 +603,68 @@ int cmd_serve_listen(const Args& args, const serving::ServeOptions& o) {
     }
     last_save = now;
   };
+
+  // ------------------------------------------------ model lifecycle
+  const std::string model_path = args.get("model");
+  const auto attempt_swap = [&](const std::string& path, const char* trigger) {
+    const core::Authenticator::SwapResult r = auth.swap_model(path);
+    if (r.ok()) {
+      service.on_model_swapped();  // drift EWMA re-warms under new weights
+      std::printf("serve: model hot-swapped (%s) -> epoch %llu\n", trigger,
+                  static_cast<unsigned long long>(r.epoch));
+      std::fflush(stdout);  // drills tail the log for this line
+    } else {
+      std::fprintf(stderr,
+                   "serve: model swap REFUSED (%s): %s — still serving "
+                   "epoch %llu\n",
+                   trigger, r.error.c_str(),
+                   static_cast<unsigned long long>(r.epoch));
+    }
+    return r.ok();
+  };
+  // --model-watch: swap only once the stamp is STABLE across two polls
+  // (changed since the last attempt AND unchanged since the last look) —
+  // our own artifacts rename atomically, but external cp pipelines do
+  // not, and half a weights file must never reach the loader.
+  FileStamp watch_prev = stamp_of(model_path);
+  FileStamp watch_attempted = watch_prev;
+  auto last_watch = std::chrono::steady_clock::now();
+  const auto lifecycle_tick = [&] {
+    if (g_hup != 0) {
+      g_hup = 0;
+      attempt_swap(model_path, "SIGHUP");
+    }
+    if (o.model_watch_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_watch >= std::chrono::milliseconds(o.model_watch_ms)) {
+        last_watch = now;
+        const FileStamp cur = stamp_of(model_path);
+        if (cur.mtime_ns >= 0 && cur != watch_attempted && cur == watch_prev) {
+          watch_attempted = cur;
+          attempt_swap(model_path, "watch");
+        }
+        watch_prev = cur;
+      }
+    }
+    if (shadow && shadow->promotable()) {
+      // One promotion offer per candidate — win or lose, never retried
+      // on every tick (a refused candidate stays in shadow, its stats
+      // keep accumulating for the operator to inspect).
+      shadow->mark_promoted();
+      attempt_swap(o.shadow_model, "shadow-promotion");
+    }
+  };
+
   if (o.once) {
     while (g_interrupted == 0 &&
-           !ingest.wait_until_idle_for(std::chrono::milliseconds(200)))
+           !ingest.wait_until_idle_for(std::chrono::milliseconds(200))) {
+      lifecycle_tick();
       maybe_snapshot();
+    }
   } else {
     while (g_interrupted == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      lifecycle_tick();
       maybe_snapshot();
     }
   }
@@ -540,6 +683,12 @@ int cmd_serve_listen(const Args& args, const serving::ServeOptions& o) {
   }
 
   serving::StatsSnapshot stats = service.stats();
+  if (shadow) {
+    // Lane threads are joined (drain), so the tap is quiet: score what is
+    // still queued, then fold the tallies into the snapshot.
+    shadow->stop();
+    stats.shadow = shadow->stats();
+  }
   if (pub) {
     // Authoritative end-of-run state: a full verdict snapshot (covers
     // subscribers that connected after early transitions) and the final
@@ -556,6 +705,10 @@ int cmd_serve_listen(const Args& args, const serving::ServeOptions& o) {
     sm.evicted_ttl = stats.sessions.evicted_ttl;
     sm.evicted_lru = stats.sessions.evicted_lru;
     sm.session_bytes = stats.sessions.approx_bytes;
+    sm.epoch = stats.lifecycle.epoch;
+    sm.swaps_completed = stats.lifecycle.swaps_completed;
+    sm.swaps_rolled_back = stats.lifecycle.swaps_rolled_back;
+    sm.stations_drifting = stats.sessions.stations_drifting;
     pub->publish_stats(sm);
     pub->stop();
   }
@@ -629,10 +782,29 @@ int cmd_serve(const Args& args) {
               args.get("policy", "block").c_str(), cfg.scheduler.max_batch,
               static_cast<long>(cfg.scheduler.max_latency.count()));
 
+  // Shadow works on replay too (offline candidate qualification against a
+  // recorded capture); only auto-promotion is listen-mode-only.
+  std::optional<serving::ShadowScorer> shadow;
+  if (!o.shadow_model.empty()) {
+    serving::ShadowConfig scfg;
+    scfg.sample_every = static_cast<std::size_t>(o.shadow_sample);
+    shadow.emplace(load_candidate(o.shadow_model, auth), scfg);
+  }
+
   serving::AuthService service(auth, cfg);
+  if (shadow)
+    service.set_shadow_callback(
+        [&shadow](const serving::PendingReport& r,
+                  const core::Authenticator::Prediction& p) {
+          shadow->observe(r, p);
+        });
   const serving::ReplayResult rr =
       serving::replay_observed(service, observed, replay);
   serving::StatsSnapshot stats = service.stats();
+  if (shadow) {
+    shadow->stop();
+    stats.shadow = shadow->stats();
+  }
   stats.reports_offered = rr.offered;
   stats.reports_accepted = rr.accepted;
 
@@ -869,7 +1041,7 @@ int cmd_drive(const Args& args) {
     std::printf("  %s -> module %d (%u/%u window votes, %llu reports)\n",
                 mac.to_string().c_str(), v.module_id, v.votes, v.window_size,
                 static_cast<unsigned long long>(v.total_reports));
-  if (server_stats)
+  if (server_stats) {
     std::printf("drive: server classified %llu reports (%.0f reports/s, "
                 "p99 %.2fms; drops: oldest=%llu rejected=%llu)\n",
                 static_cast<unsigned long long>(
@@ -878,6 +1050,18 @@ int cmd_drive(const Args& args) {
                 server_stats->batch_latency_p99_ms,
                 static_cast<unsigned long long>(server_stats->dropped_oldest),
                 static_cast<unsigned long long>(server_stats->rejected));
+    if (server_stats->swaps_completed > 0 ||
+        server_stats->swaps_rolled_back > 0)
+      std::printf("drive: server lifecycle: epoch %llu, swaps "
+                  "completed=%llu rolled-back=%llu, drifting=%llu\n",
+                  static_cast<unsigned long long>(server_stats->epoch),
+                  static_cast<unsigned long long>(
+                      server_stats->swaps_completed),
+                  static_cast<unsigned long long>(
+                      server_stats->swaps_rolled_back),
+                  static_cast<unsigned long long>(
+                      server_stats->stations_drifting));
+  }
 
   if (!args.has("model")) return 0;
 
